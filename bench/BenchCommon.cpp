@@ -1,0 +1,231 @@
+#include "bench/BenchCommon.hpp"
+
+#include "cache/CacheSim.hpp"
+#include "core/DilationModel.hpp"
+#include "core/TraceModel.hpp"
+#include "linker/LinkedBinary.hpp"
+#include "machine/MachineDesc.hpp"
+#include "support/Logging.hpp"
+#include "trace/TraceGenerator.hpp"
+
+namespace pico::bench
+{
+
+const std::vector<std::string> paperMachines = {"1111", "2111", "3221",
+                                                "4221", "6332"};
+
+cache::CacheConfig
+smallIcache()
+{
+    return cache::CacheConfig::fromSize(1024, 1, 32);
+}
+
+cache::CacheConfig
+largeIcache()
+{
+    return cache::CacheConfig::fromSize(16384, 2, 32);
+}
+
+cache::CacheConfig
+smallDcache()
+{
+    return cache::CacheConfig::fromSize(1024, 1, 32);
+}
+
+cache::CacheConfig
+largeDcache()
+{
+    return cache::CacheConfig::fromSize(16384, 2, 32);
+}
+
+cache::CacheConfig
+smallUcache()
+{
+    return cache::CacheConfig::fromSize(16384, 2, 64);
+}
+
+cache::CacheConfig
+largeUcache()
+{
+    return cache::CacheConfig::fromSize(131072, 4, 64);
+}
+
+AppContext::AppContext(const workloads::AppSpec &spec)
+    : name_(spec.name)
+{
+    prog_ = workloads::buildAndProfile(spec, profileBlocks);
+    for (const auto &m : paperMachines) {
+        builds_.emplace(m, workloads::buildFor(
+                               prog_, machine::MachineDesc::fromName(m)));
+    }
+}
+
+const workloads::MachineBuild &
+AppContext::build(const std::string &m) const
+{
+    auto it = builds_.find(m);
+    fatalIf(it == builds_.end(), "unknown machine '", m, "'");
+    return it->second;
+}
+
+double
+AppContext::dilation(const std::string &m) const
+{
+    return linker::textDilation(build(m).bin, build("1111").bin);
+}
+
+const std::vector<trace::Access> &
+AppContext::traceFor(const std::string &m, trace::TraceKind kind) const
+{
+    auto key = std::make_pair(m, static_cast<int>(kind));
+    auto it = traces_.find(key);
+    if (it != traces_.end())
+        return it->second;
+    const auto &b = build(m);
+    trace::TraceGenerator gen(prog_, b.sched, b.bin);
+    auto trace = gen.collect(kind, traceBlocks);
+    return traces_.emplace(key, std::move(trace)).first->second;
+}
+
+uint64_t
+AppContext::dilatedTrace(
+    trace::TraceKind kind, double d,
+    const std::function<void(const trace::Access &)> &sink) const
+{
+    const auto &b = build("1111");
+    trace::TraceGenerator gen(prog_, b.sched, b.bin);
+    return gen.generateDilated(kind, d, sink, traceBlocks);
+}
+
+uint64_t
+AppContext::simulate(const std::string &m, trace::TraceKind kind,
+                     const cache::CacheConfig &cfg) const
+{
+    cache::CacheSim sim(cfg);
+    for (const auto &a : traceFor(m, kind))
+        sim.access(a.addr, a.isWrite);
+    return sim.misses();
+}
+
+uint64_t
+AppContext::simulateDilated(trace::TraceKind kind, double d,
+                            const cache::CacheConfig &cfg) const
+{
+    cache::CacheSim sim(cfg);
+    dilatedTrace(kind, d, [&sim](const trace::Access &a) {
+        sim.access(a.addr, a.isWrite);
+    });
+    return sim.misses();
+}
+
+void
+AppContext::fitParams() const
+{
+    if (paramsReady_)
+        return;
+    core::ItraceModeler imod(iGranule);
+    for (const auto &a :
+         traceFor("1111", trace::TraceKind::Instruction))
+        imod.access(a);
+    iParams_ = imod.params();
+
+    core::UtraceModeler umod(uGranule);
+    for (const auto &a : traceFor("1111", trace::TraceKind::Unified))
+        umod.access(a);
+    uiParams_ = umod.instrParams();
+    udParams_ = umod.dataParams();
+    paramsReady_ = true;
+}
+
+const core::ComponentParams &
+AppContext::instrParams() const
+{
+    fitParams();
+    return iParams_;
+}
+
+const core::ComponentParams &
+AppContext::unifiedInstrParams() const
+{
+    fitParams();
+    return uiParams_;
+}
+
+const core::ComponentParams &
+AppContext::unifiedDataParams() const
+{
+    fitParams();
+    return udParams_;
+}
+
+cache::CacheConfig
+evalConfig(EvalCache which)
+{
+    switch (which) {
+      case EvalCache::SmallI:
+        return smallIcache();
+      case EvalCache::LargeI:
+        return largeIcache();
+      case EvalCache::SmallU:
+        return smallUcache();
+      case EvalCache::LargeU:
+        return largeUcache();
+    }
+    panic("unknown EvalCache");
+}
+
+bool
+isUnified(EvalCache which)
+{
+    return which == EvalCache::SmallU || which == EvalCache::LargeU;
+}
+
+MissTriple
+evaluateTriple(const AppContext &app, const std::string &machine,
+               EvalCache which)
+{
+    auto cfg = evalConfig(which);
+    auto kind = isUnified(which) ? trace::TraceKind::Unified
+                                 : trace::TraceKind::Instruction;
+    double d = app.dilation(machine);
+
+    MissTriple out;
+    out.reference =
+        static_cast<double>(app.simulate("1111", kind, cfg));
+    out.actual = static_cast<double>(app.simulate(machine, kind, cfg));
+    out.dilated =
+        static_cast<double>(app.simulateDilated(kind, d, cfg));
+
+    core::DilationModel model(app.instrParams(),
+                              app.unifiedInstrParams(),
+                              app.unifiedDataParams());
+    if (isUnified(which)) {
+        out.estimated =
+            model.estimateUcacheMisses(cfg, d, out.reference);
+    } else {
+        core::MissOracle oracle =
+            [&app](const cache::CacheConfig &c) {
+                return static_cast<double>(app.simulate(
+                    "1111", trace::TraceKind::Instruction, c));
+            };
+        out.estimated = model.estimateIcacheMisses(cfg, d, oracle);
+    }
+    return out;
+}
+
+std::vector<AppContext>
+buildSuite()
+{
+    std::vector<AppContext> suite;
+    for (const auto &spec : workloads::paperSuite())
+        suite.emplace_back(spec);
+    return suite;
+}
+
+AppContext
+buildApp(const std::string &name)
+{
+    return AppContext(workloads::specByName(name));
+}
+
+} // namespace pico::bench

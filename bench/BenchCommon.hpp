@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared context for the experiment benches: builds the benchmark
+ * suite for the paper's machines, caches traces, and provides the
+ * simulate/estimate helpers every table and figure needs.
+ */
+
+#ifndef PICO_BENCH_BENCH_COMMON_HPP
+#define PICO_BENCH_BENCH_COMMON_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/CacheConfig.hpp"
+#include "core/TraceModel.hpp"
+#include "ir/Program.hpp"
+#include "support/Table.hpp"
+#include "trace/Access.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico::bench
+{
+
+/** Machines of the paper's experiments, reference first. */
+extern const std::vector<std::string> paperMachines;
+
+/** Block-entry budget used for all experiment traces. */
+constexpr uint64_t traceBlocks = 40000;
+/** Block-entry budget used for profiling. */
+constexpr uint64_t profileBlocks = 40000;
+/** Granule sizes (paper section 5.2). */
+constexpr uint64_t iGranule = 10000;
+constexpr uint64_t uGranule = 100000;
+
+/** The paper's four evaluation cache configurations (section 6). */
+cache::CacheConfig smallIcache();  ///< 1KB direct-mapped, 32B lines
+cache::CacheConfig largeIcache();  ///< 16KB 2-way, 32B lines
+cache::CacheConfig smallDcache();  ///< 1KB direct-mapped, 32B lines
+cache::CacheConfig largeDcache();  ///< 16KB 2-way, 32B lines
+cache::CacheConfig smallUcache();  ///< 16KB 2-way, 64B lines
+cache::CacheConfig largeUcache();  ///< 128KB 4-way, 64B lines
+
+/** One application compiled for every machine in the study. */
+class AppContext
+{
+  public:
+    explicit AppContext(const workloads::AppSpec &spec);
+
+    const std::string &name() const { return name_; }
+    const ir::Program &program() const { return prog_; }
+
+    /** Build (schedule + binary) for a machine name. */
+    const workloads::MachineBuild &build(const std::string &m) const;
+
+    /** Text dilation of a machine w.r.t. the 1111 reference. */
+    double dilation(const std::string &m) const;
+
+    /**
+     * Address trace of a machine, cached after first use.
+     * @param m machine name
+     * @param kind trace kind
+     */
+    const std::vector<trace::Access> &
+    traceFor(const std::string &m, trace::TraceKind kind) const;
+
+    /**
+     * Reference trace with the instruction component dilated by d
+     * (not cached; streams into the sink).
+     */
+    uint64_t dilatedTrace(
+        trace::TraceKind kind, double d,
+        const std::function<void(const trace::Access &)> &sink) const;
+
+    /** Misses of one cache on a machine's trace. */
+    uint64_t simulate(const std::string &m, trace::TraceKind kind,
+                      const cache::CacheConfig &cfg) const;
+
+    /** Misses of one cache on the dilated reference trace. */
+    uint64_t simulateDilated(trace::TraceKind kind, double d,
+                             const cache::CacheConfig &cfg) const;
+
+    /** AHH parameters of the reference instruction trace. */
+    const core::ComponentParams &instrParams() const;
+    /** AHH parameters of the reference unified trace components. */
+    const core::ComponentParams &unifiedInstrParams() const;
+    const core::ComponentParams &unifiedDataParams() const;
+
+  private:
+    void fitParams() const;
+
+    std::string name_;
+    ir::Program prog_;
+    std::map<std::string, workloads::MachineBuild> builds_;
+    mutable std::map<std::pair<std::string, int>,
+                     std::vector<trace::Access>>
+        traces_;
+    mutable bool paramsReady_ = false;
+    mutable core::ComponentParams iParams_;
+    mutable core::ComponentParams uiParams_;
+    mutable core::ComponentParams udParams_;
+};
+
+/** Which of the paper's four evaluation caches to use. */
+enum class EvalCache
+{
+    SmallI, ///< 1KB direct-mapped I-cache
+    LargeI, ///< 16KB 2-way I-cache
+    SmallU, ///< 16KB 2-way unified cache
+    LargeU, ///< 128KB 4-way unified cache
+};
+
+/** The three bars of figure 7 / table 4 for one design point. */
+struct MissTriple
+{
+    /** Misses simulating the target machine's own trace. */
+    double actual = 0.0;
+    /** Misses simulating the dilated reference trace. */
+    double dilated = 0.0;
+    /** Misses from the dilation model (no extra simulation). */
+    double estimated = 0.0;
+    /** Misses of the reference machine (normalization base). */
+    double reference = 0.0;
+};
+
+/** Configuration object for an EvalCache selector. */
+cache::CacheConfig evalConfig(EvalCache which);
+
+/** True for the unified-cache selectors. */
+bool isUnified(EvalCache which);
+
+/**
+ * Compute actual / dilated / estimated misses for one application,
+ * machine, and evaluation cache (the cell of table 4).
+ */
+MissTriple evaluateTriple(const AppContext &app,
+                          const std::string &machine,
+                          EvalCache which);
+
+/** Build contexts for the whole suite (ten applications). */
+std::vector<AppContext> buildSuite();
+
+/** Build one context by benchmark name. */
+AppContext buildApp(const std::string &name);
+
+} // namespace pico::bench
+
+#endif // PICO_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation A4 — why dilation hurts: a three-C decomposition of the
+ * instruction-cache misses of the dilated reference trace. The AHH
+ * model treats dilation as extra *collisions* (interference); this
+ * bench verifies that the miss growth indeed comes from conflict and
+ * capacity interference rather than compulsory traffic.
+ */
+
+#include <iostream>
+
+#include "bench/BenchCommon.hpp"
+#include "cache/MissClassifier.hpp"
+
+using namespace pico;
+
+int
+main()
+{
+    std::cout << "Ablation: three-C decomposition of dilated-trace "
+                 "I-cache misses (085.gcc analogue, 1KB DM)\n\n";
+
+    auto app = bench::buildApp("085.gcc");
+    auto cfg = bench::smallIcache();
+
+    TextTable table("Miss breakdown vs dilation");
+    table.setHeader({"dilation", "compulsory", "capacity",
+                     "conflict", "total"});
+    for (double d : {1.0, 1.5, 2.0, 2.5, 3.0}) {
+        cache::MissClassifier mc(cfg);
+        app.dilatedTrace(trace::TraceKind::Instruction, d,
+                         [&mc](const trace::Access &a) {
+                             mc.access(a.addr);
+                         });
+        const auto &b = mc.breakdown();
+        table.addRow({TextTable::num(d, 1),
+                      std::to_string(b.compulsory),
+                      std::to_string(b.capacity),
+                      std::to_string(b.conflict),
+                      std::to_string(b.totalMisses())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nCompulsory misses grow only with the code "
+                 "footprint; the interference terms, which the AHH "
+                 "collision model captures, carry the growth.\n";
+    return 0;
+}

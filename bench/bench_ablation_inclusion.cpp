@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation A3 — section 3.1's decoupling argument: under the
+ * inclusion requirement, unified (L2) cache misses may be obtained
+ * by simulating the entire address trace, independent of the L1
+ * configurations. Compare the decoupled simulation against coupled
+ * simulation (L2 sees only L1 misses, back-invalidation enforcing
+ * inclusion) across benchmarks and L1 sizes.
+ */
+
+#include <iostream>
+
+#include "bench/BenchCommon.hpp"
+#include "cache/Hierarchy.hpp"
+
+using namespace pico;
+
+int
+main()
+{
+    std::cout << "Ablation: decoupled vs coupled unified-cache "
+                 "simulation (16KB 2-way 64B L2)\n\n";
+
+    TextTable table("L2 misses: decoupled (paper) vs coupled, two "
+                    "L1 sizings");
+    table.setHeader({"Benchmark", "decoupled", "coupled 1KB L1s",
+                     "coupled 16KB L1s", "max delta %"});
+
+    for (const char *name :
+         {"085.gcc", "ghostscript", "epic", "pgpencode", "rasta"}) {
+        auto app = bench::buildApp(name);
+        const auto &trace =
+            app.traceFor("1111", trace::TraceKind::Unified);
+
+        cache::HierarchyConfig small;
+        small.icache = bench::smallIcache();
+        small.dcache = bench::smallDcache();
+        small.ucache = bench::smallUcache();
+        cache::HierarchyConfig big = small;
+        big.icache = bench::largeIcache();
+        big.dcache = bench::largeDcache();
+
+        cache::HierarchySim decoupled(small);
+        cache::CoupledHierarchySim coupled_small(small);
+        cache::CoupledHierarchySim coupled_big(big);
+        for (const auto &a : trace) {
+            decoupled.access(a);
+            coupled_small.access(a);
+            coupled_big.access(a);
+        }
+        auto d = static_cast<double>(decoupled.stats().uMisses);
+        auto cs = static_cast<double>(coupled_small.stats().uMisses);
+        auto cb = static_cast<double>(coupled_big.stats().uMisses);
+        double delta = 0.0;
+        if (d > 0) {
+            delta = std::max(std::abs(cs - d), std::abs(cb - d)) /
+                    d * 100.0;
+        }
+        table.addRow({name, TextTable::num(d, 0),
+                      TextTable::num(cs, 0), TextTable::num(cb, 0),
+                      TextTable::num(delta, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSmall deltas justify evaluating the L2 with the "
+                 "full trace regardless of the L1 configuration "
+                 "(the paper's hierarchical decoupling).\n";
+    return 0;
+}

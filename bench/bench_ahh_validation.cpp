@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Experiment E12 — validating the baseline AHH model itself
+ * (section 2 reports mean errors of ~4% for direct-mapped 4B-line
+ * caches rising to ~22% for set-associative 16B-line caches).
+ *
+ * From one simulated anchor configuration and the fitted trace
+ * parameters, equation 4.7 predicts the misses of every other cache
+ * with the same line size; we compare those predictions against
+ * single-pass simulation truth, per line size.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/BenchCommon.hpp"
+#include "cache/SinglePassSim.hpp"
+#include "core/AhhModel.hpp"
+#include "core/TraceModel.hpp"
+#include "support/Stats.hpp"
+
+using namespace pico;
+
+int
+main()
+{
+    std::cout << "AHH model validation: eq 4.7 scaling from one "
+                 "anchor cache vs simulation (instruction traces)\n\n";
+
+    TextTable table("Mean relative error of scaled miss estimates");
+    table.setHeader({"Benchmark", "L=4B DM", "L=16B DM", "L=16B SA",
+                     "L=32B SA"});
+
+    RunningStat col[4];
+    for (const auto &app : bench::buildSuite()) {
+        const auto &trace =
+            app.traceFor("1111", trace::TraceKind::Instruction);
+        core::ItraceModeler modeler(bench::iGranule);
+        for (const auto &a : trace)
+            modeler.access(a);
+        auto params = modeler.params();
+
+        auto evaluate = [&](uint32_t line, bool associative) {
+            cache::SinglePassSim sim(line, 16, 512, 4);
+            for (const auto &a : trace)
+                sim.access(a.addr);
+
+            // Anchor: the middle direct-mapped configuration.
+            uint32_t anchor_sets = 128;
+            double anchor_misses =
+                static_cast<double>(sim.misses(anchor_sets, 1));
+            double uL = params.uLines(line / 4.0);
+            double anchor_coll =
+                core::ahh::collisions(uL, anchor_sets, 1);
+
+            RunningStat err;
+            for (uint32_t sets = 16; sets <= 512; sets *= 2) {
+                for (uint32_t assoc = 1;
+                     assoc <= (associative ? 4u : 1u); ++assoc) {
+                    if (sets == anchor_sets && assoc == 1)
+                        continue;
+                    double coll =
+                        core::ahh::collisions(uL, sets, assoc);
+                    double est = core::ahh::scaleMisses(
+                        anchor_misses, anchor_coll, coll);
+                    auto truth = static_cast<double>(
+                        sim.misses(sets, assoc));
+                    if (truth > 100.0) {
+                        err.add(std::abs(est - truth) / truth);
+                    }
+                }
+            }
+            return err.mean();
+        };
+
+        double e4 = evaluate(4, false);
+        double e16dm = evaluate(16, false);
+        double e16sa = evaluate(16, true);
+        double e32sa = evaluate(32, true);
+        col[0].add(e4);
+        col[1].add(e16dm);
+        col[2].add(e16sa);
+        col[3].add(e32sa);
+        table.addRow({app.name(), TextTable::num(e4, 3),
+                      TextTable::num(e16dm, 3),
+                      TextTable::num(e16sa, 3),
+                      TextTable::num(e32sa, 3)});
+    }
+    table.addRow({"(mean)", TextTable::num(col[0].mean(), 3),
+                  TextTable::num(col[1].mean(), 3),
+                  TextTable::num(col[2].mean(), 3),
+                  TextTable::num(col[3].mean(), 3)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper section 2 (after [11]): ~4% error for "
+                 "direct-mapped 4B-line caches, degrading as line "
+                 "size and associativity grow — which is why the "
+                 "dilation model only uses the AHH model to "
+                 "interpolate between simulations, never to replace "
+                 "them.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Experiment E9 — section 3.3's Cheetah claim, as a google-benchmark
+ * microbenchmark: simulating the full range of set counts and
+ * associativities in a single pass costs little more than simulating
+ * one configuration, and far less than per-configuration passes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/CacheSim.hpp"
+#include "cache/SinglePassSim.hpp"
+#include "support/Random.hpp"
+
+using namespace pico;
+
+namespace
+{
+
+std::vector<uint64_t> &
+sharedTrace()
+{
+    static std::vector<uint64_t> trace = [] {
+        Rng rng(20260706);
+        std::vector<uint64_t> out;
+        out.reserve(200000);
+        uint64_t pc = 0;
+        for (int i = 0; i < 200000; ++i) {
+            if (rng.coin(0.1))
+                pc = rng.below(1 << 18) & ~3ULL;
+            out.push_back(pc);
+            pc += 4;
+        }
+        return out;
+    }();
+    return trace;
+}
+
+void
+BM_SingleConfigSim(benchmark::State &state)
+{
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        cache::CacheSim sim(cache::CacheConfig{
+            static_cast<uint32_t>(state.range(0)), 2, 32});
+        for (auto addr : trace)
+            sim.access(addr);
+        benchmark::DoNotOptimize(sim.misses());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * trace.size()));
+}
+
+void
+BM_SinglePassAllConfigs(benchmark::State &state)
+{
+    // 32..512 sets x 1..4 ways = 20 configurations in one pass.
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        cache::SinglePassSim sim(32, 32, 512, 4);
+        for (auto addr : trace)
+            sim.access(addr);
+        benchmark::DoNotOptimize(sim.misses(128, 2));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * trace.size()));
+}
+
+void
+BM_PerConfigPasses(benchmark::State &state)
+{
+    // The naive alternative: 20 separate passes.
+    const auto &trace = sharedTrace();
+    for (auto _ : state) {
+        uint64_t total = 0;
+        for (uint32_t sets = 32; sets <= 512; sets *= 2) {
+            for (uint32_t assoc = 1; assoc <= 4; ++assoc) {
+                cache::CacheSim sim(
+                    cache::CacheConfig{sets, assoc, 32});
+                for (auto addr : trace)
+                    sim.access(addr);
+                total += sim.misses();
+            }
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * trace.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_SingleConfigSim)->Arg(128);
+BENCHMARK(BM_SinglePassAllConfigs);
+BENCHMARK(BM_PerConfigPasses);
+
+BENCHMARK_MAIN();

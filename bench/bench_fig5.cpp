@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment E4 — paper Figure 5: static and dynamic cumulative
+ * distributions of per-block dilation for the gcc and ghostscript
+ * analogues, on the 2111, 3221 and 6332 processors.
+ *
+ * Each block's dilation is the ratio of its encoded size on the
+ * target machine to its size on the 1111 reference; the static CDF
+ * weighs blocks equally, the dynamic CDF by execution frequency. The
+ * closer the curves are to a step at the text dilation, the better
+ * the uniform-dilation assumption.
+ */
+
+#include <iostream>
+
+#include "bench/BenchCommon.hpp"
+#include "support/Stats.hpp"
+
+using namespace pico;
+
+namespace
+{
+
+void
+reportApp(const std::string &app_name)
+{
+    auto app = bench::buildApp(app_name);
+    const auto &prog = app.program();
+    const auto &ref_bin = app.build("1111").bin;
+
+    std::cout << "Dilation distribution - " << app_name << "\n";
+    for (const char *m : {"2111", "3221", "6332"}) {
+        const auto &bin = app.build(m).bin;
+        WeightedDistribution stat_dist, dyn_dist;
+        for (uint32_t f = 0; f < bin.numFunctions(); ++f) {
+            for (uint32_t b = 0; b < bin.numBlocks(f); ++b) {
+                double ref_size = ref_bin.block(f, b).sizeBytes;
+                double size = bin.block(f, b).sizeBytes;
+                double d = size / ref_size;
+                stat_dist.add(d, 1.0);
+                dyn_dist.add(
+                    d, static_cast<double>(
+                           prog.functions[f].blocks[b].profileCount));
+            }
+        }
+
+        TextTable table(std::string("CDF for ") + m +
+                        " (text dilation " +
+                        TextTable::num(app.dilation(m), 2) + ")");
+        table.setHeader({"dilation<=", "static", "dynamic"});
+        for (double x = 0.5; x <= 5.01; x += 0.5) {
+            table.addRow({TextTable::num(x, 1),
+                          TextTable::num(
+                              stat_dist.fractionAtOrBelow(x), 3),
+                          TextTable::num(
+                              dyn_dist.fractionAtOrBelow(x), 3)});
+        }
+        table.addRow({"median",
+                      TextTable::num(stat_dist.quantile(0.5), 2),
+                      TextTable::num(dyn_dist.quantile(0.5), 2)});
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Figure 5: dilation distribution for 085.gcc and "
+                 "ghostscript\n\n";
+    reportApp("085.gcc");
+    reportApp("ghostscript");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment E10 — paper Figure 2 / section 5: a full spacewalker
+ * run over processors x memory hierarchies for one application,
+ * printing the processor, memory and complete-system Pareto sets.
+ */
+
+#include <iostream>
+
+#include "bench/BenchCommon.hpp"
+#include "dse/Spacewalker.hpp"
+
+using namespace pico;
+
+int
+main()
+{
+    std::cout << "Spacewalker exploration (pgpdecode analogue): "
+                 "cost/performance Pareto sets\n\n";
+
+    auto spec = workloads::specByName("pgpdecode");
+    auto prog = workloads::buildAndProfile(spec, bench::profileBlocks);
+
+    dse::MemorySpaces spaces; // default L1/L2 spaces (~20+ caches each)
+    dse::Spacewalker::Options opts;
+    opts.traceBlocks = bench::traceBlocks;
+    dse::Spacewalker walker(
+        spaces, {"1111", "2111", "3221", "4221", "6332"}, opts);
+    auto result = walker.explore(prog);
+
+    TextTable dil("Measured text dilations");
+    dil.setHeader({"machine", "dilation", "processor cycles"});
+    for (const auto &[name, d] : result.dilations) {
+        dil.addRow({name, TextTable::num(d, 2),
+                    std::to_string(result.processorCycles.at(name))});
+    }
+    dil.print(std::cout);
+    std::cout << "\n";
+
+    TextTable procs("Processor Pareto set");
+    procs.setHeader({"design", "cost", "cycles"});
+    for (const auto &p : result.processors.sorted())
+        procs.addRow({p.id, TextTable::num(p.cost, 1),
+                      TextTable::num(p.time, 0)});
+    procs.print(std::cout);
+    std::cout << "\n";
+
+    TextTable mem("Memory-hierarchy Pareto set at dilation of 6332");
+    auto mem_front =
+        walker.memoryWalker().pareto(result.dilations.at("6332"));
+    mem.setHeader({"hierarchy", "area", "stall cycles"});
+    for (const auto &p : mem_front.sorted())
+        mem.addRow({p.id, TextTable::num(p.cost, 1),
+                    TextTable::num(p.time, 0)});
+    mem.print(std::cout);
+    std::cout << "\n";
+
+    TextTable sys("Complete-system Pareto set");
+    sys.setHeader({"system", "cost", "total cycles"});
+    for (const auto &p : result.systems.sorted())
+        sys.addRow({p.id, TextTable::num(p.cost, 1),
+                    TextTable::num(p.time, 0)});
+    sys.print(std::cout);
+
+    std::cout << "\n" << result.systems.offered()
+              << " system designs offered, "
+              << result.systems.size() << " on the Pareto front\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment E8 — paper Table 4: actual, dilated and estimated
+ * misses for every benchmark, the four evaluation caches, and the
+ * four target processors, normalized to the 1111 reference.
+ *
+ * This is the paper's bottom-line accuracy table. Expected shape:
+ * estimates track actuals better for narrower processors than wider
+ * ones and better for instruction caches than for unified caches,
+ * with occasional outliers on the small configurations.
+ */
+
+#include <iostream>
+
+#include "bench/BenchCommon.hpp"
+#include "support/Stats.hpp"
+
+using namespace pico;
+
+namespace
+{
+
+void
+section(const std::vector<bench::AppContext> &suite,
+        bench::EvalCache which, const std::string &title)
+{
+    TextTable table(title);
+    std::vector<std::string> header = {"Benchmark", "1111/Act"};
+    for (const auto &m : bench::paperMachines) {
+        if (m == "1111")
+            continue;
+        header.push_back(m + "/Act");
+        header.push_back(m + "/Dil");
+        header.push_back(m + "/Est");
+    }
+    table.setHeader(header);
+
+    RunningStat est_err_narrow, est_err_wide;
+    for (const auto &app : suite) {
+        std::vector<std::string> row = {app.name(), "1.00"};
+        for (const auto &m : bench::paperMachines) {
+            if (m == "1111")
+                continue;
+            auto t = bench::evaluateTriple(app, m, which);
+            double base = t.reference > 0 ? t.reference : 1.0;
+            row.push_back(TextTable::num(t.actual / base, 2));
+            row.push_back(TextTable::num(t.dilated / base, 2));
+            row.push_back(TextTable::num(t.estimated / base, 2));
+            if (t.actual > 0) {
+                double err =
+                    std::abs(t.estimated - t.actual) / t.actual;
+                (m == "2111" ? est_err_narrow : est_err_wide)
+                    .add(err);
+            }
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "mean |est-act|/act: 2111 = "
+              << TextTable::num(est_err_narrow.mean(), 3)
+              << ", wider = "
+              << TextTable::num(est_err_wide.mean(), 3) << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table 4: actual, dilated and estimated misses for "
+                 "all benchmarks (normalized to 1111)\n\n";
+    auto suite = bench::buildSuite();
+    section(suite, bench::EvalCache::SmallI, "1 KB Icache");
+    section(suite, bench::EvalCache::LargeI, "16 KB Icache");
+    section(suite, bench::EvalCache::SmallU, "16 K Ucache");
+    section(suite, bench::EvalCache::LargeU, "128 K Ucache");
+    return 0;
+}

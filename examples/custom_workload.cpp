@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Custom workload: define your own embedded application with the
+ * AppSpec knobs (here, a DSP-style streaming kernel), pick a
+ * hierarchy, and evaluate end-to-end execution time = processor
+ * cycles + stall cycles, on two candidate machines.
+ */
+
+#include <iostream>
+
+#include "cache/Hierarchy.hpp"
+#include "support/Table.hpp"
+#include "trace/TraceGenerator.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+using namespace pico;
+
+int
+main()
+{
+    // A loop-heavy, float-heavy streaming kernel over large arrays:
+    // the shape of an audio/video filter.
+    workloads::AppSpec spec;
+    spec.name = "fir-pipeline";
+    spec.seed = 2026;
+    spec.numFunctions = 12;
+    spec.minBlocksPerFunction = 4;
+    spec.maxBlocksPerFunction = 12;
+    spec.minOpsPerBlock = 8;
+    spec.maxOpsPerBlock = 24;
+    spec.loopProb = 0.55;
+    spec.loopTripMean = 24.0;
+    spec.branchProb = 0.2;
+    spec.callProb = 0.1;
+    spec.fracMem = 0.35;
+    spec.fracFloat = 0.3;
+    spec.depDensity = 0.2; // plenty of ILP
+    spec.numStreams = 6;
+    spec.minStreamWords = 65536;
+    spec.maxStreamWords = 262144;
+    spec.patterns = {0.55, 0.35, 0.0, 0.05, 0.05};
+
+    auto prog = workloads::buildAndProfile(spec);
+
+    cache::HierarchyConfig hierarchy;
+    hierarchy.icache = cache::CacheConfig::fromSize(4096, 2, 32);
+    hierarchy.dcache = cache::CacheConfig::fromSize(8192, 2, 32);
+    hierarchy.ucache = cache::CacheConfig::fromSize(65536, 4, 64);
+    hierarchy.l2HitLatency = 8;
+    hierarchy.memoryLatency = 60;
+
+    TextTable table("fir-pipeline on two machines, " +
+                    hierarchy.icache.name() + " I$ / " +
+                    hierarchy.dcache.name() + " D$ / " +
+                    hierarchy.ucache.name() + " U$");
+    table.setHeader({"machine", "proc cycles", "I$ misses",
+                     "D$ misses", "U$ misses", "stall cycles",
+                     "total", "speedup"});
+
+    double base_total = 0.0;
+    for (const char *name : {"1111", "4332"}) {
+        auto build = workloads::buildFor(
+            prog, machine::MachineDesc::fromName(name));
+        cache::HierarchySim sim(hierarchy);
+        trace::TraceGenerator gen(prog, build.sched, build.bin);
+        gen.generate(trace::TraceKind::Unified,
+                     [&sim](const trace::Access &a) {
+                         sim.access(a);
+                     },
+                     60000);
+        auto stats = sim.stats();
+        uint64_t stalls = stats.stallCycles(hierarchy);
+        double total =
+            static_cast<double>(build.processorCycles + stalls);
+        if (base_total == 0.0)
+            base_total = total;
+        table.addRow({name, std::to_string(build.processorCycles),
+                      std::to_string(stats.iMisses),
+                      std::to_string(stats.dMisses),
+                      std::to_string(stats.uMisses),
+                      std::to_string(stalls),
+                      TextTable::num(total, 0),
+                      TextTable::num(base_total / total, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNote how the wider machine trades processor "
+                 "cycles for extra instruction-cache stalls — the "
+                 "coupling the dilation model quantifies without "
+                 "simulating every machine.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cache configuration: sets, associativity, line size, ports.
+ *
+ * A configuration is *feasible* (paper, section 4.1) when its line
+ * size and number of sets are powers of two and its associativity is
+ * a positive integer. The dilation model deliberately reasons about
+ * infeasible line sizes (L / d) and interpolates between feasible
+ * neighbours.
+ */
+
+#ifndef PICO_CACHE_CACHE_CONFIG_HPP
+#define PICO_CACHE_CACHE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace pico::cache
+{
+
+/** Static description of one cache. */
+struct CacheConfig
+{
+    uint32_t sets = 1;
+    uint32_t assoc = 1;
+    uint32_t lineBytes = 32;
+    uint32_t ports = 1;
+
+    uint64_t
+    sizeBytes() const
+    {
+        return static_cast<uint64_t>(sets) * assoc * lineBytes;
+    }
+
+    /** True when sets and line size are powers of two, assoc >= 1. */
+    bool feasible() const;
+
+    /** fatal() unless the configuration is feasible. */
+    void validate() const;
+
+    /** Human-readable name, e.g. "16KB/2way/32B". */
+    std::string name() const;
+
+    /**
+     * Build a configuration from total size.
+     * @param size_bytes total capacity (power of two)
+     * @param assoc associativity
+     * @param line_bytes line size (power of two)
+     */
+    static CacheConfig fromSize(uint64_t size_bytes, uint32_t assoc,
+                                uint32_t line_bytes,
+                                uint32_t ports = 1);
+
+    /**
+     * Relative silicon area: data array plus tag overhead, scaled by
+     * a port factor (multi-ported arrays grow superlinearly).
+     */
+    double areaCost() const;
+
+    bool
+    operator==(const CacheConfig &other) const
+    {
+        return sets == other.sets && assoc == other.assoc &&
+               lineBytes == other.lineBytes && ports == other.ports;
+    }
+};
+
+} // namespace pico::cache
+
+#endif // PICO_CACHE_CACHE_CONFIG_HPP

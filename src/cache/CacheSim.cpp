@@ -1,0 +1,96 @@
+#include "cache/CacheSim.hpp"
+
+#include <algorithm>
+
+#include "support/Logging.hpp"
+
+namespace pico::cache
+{
+
+CacheSim::CacheSim(const CacheConfig &config, bool track_compulsory)
+    : config_(config), trackCompulsory_(track_compulsory)
+{
+    config_.validate();
+    sets_.resize(config_.sets);
+    for (auto &set : sets_)
+        set.reserve(config_.assoc);
+}
+
+AccessResult
+CacheSim::access(uint64_t addr, bool write)
+{
+    ++accesses_;
+    AccessResult result;
+
+    uint64_t line = lineId(addr);
+    auto &set = sets_[setIndex(line)];
+
+    auto it = std::find_if(set.begin(), set.end(),
+                           [line](const Entry &e) {
+                               return e.line == line;
+                           });
+    if (it != set.end()) {
+        // Hit: move to MRU position (write-back: mark dirty).
+        Entry entry = *it;
+        entry.dirty |= write;
+        set.erase(it);
+        set.insert(set.begin(), entry);
+        result.hit = true;
+        return result;
+    }
+
+    ++misses_;
+    if (trackCompulsory_ && seenLines_.insert(line).second)
+        ++compulsory_;
+
+    if (set.size() >= config_.assoc) {
+        result.hasVictim = true;
+        result.victimLine = set.back().line;
+        if (set.back().dirty)
+            ++writebacks_;
+        set.pop_back();
+    }
+    // Write-allocate: stores install the line dirty.
+    set.insert(set.begin(), Entry{line, write});
+    return result;
+}
+
+void
+CacheSim::invalidateLine(uint64_t line_id)
+{
+    auto &set = sets_[setIndex(line_id)];
+    auto it = std::find_if(set.begin(), set.end(),
+                           [line_id](const Entry &e) {
+                               return e.line == line_id;
+                           });
+    if (it != set.end()) {
+        if (it->dirty)
+            ++writebacks_;
+        set.erase(it);
+    }
+}
+
+void
+CacheSim::invalidateRange(uint64_t addr_lo, uint64_t addr_hi)
+{
+    panicIf(addr_hi < addr_lo, "bad invalidate range");
+    uint64_t first = addr_lo / config_.lineBytes;
+    uint64_t last = (addr_hi + config_.lineBytes - 1) /
+                    config_.lineBytes;
+    for (uint64_t line = first; line < last; ++line)
+        invalidateLine(line);
+}
+
+void
+CacheSim::reset()
+{
+    for (auto &set : sets_)
+        set.clear();
+    accesses_ = 0;
+    misses_ = 0;
+    compulsory_ = 0;
+    writebacks_ = 0;
+    seenLines_.clear();
+}
+
+} // namespace pico::cache

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reference single-configuration LRU cache simulator.
+ *
+ * Write policy is write-back, write-allocate; misses are counted
+ * identically for reads and writes (the paper reports miss counts,
+ * not writeback traffic). Compulsory (first-reference) misses are
+ * tracked separately so model validation can exclude start-up misses
+ * the way the AHH model does.
+ */
+
+#ifndef PICO_CACHE_CACHE_SIM_HPP
+#define PICO_CACHE_CACHE_SIM_HPP
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/CacheConfig.hpp"
+#include "trace/Access.hpp"
+
+namespace pico::cache
+{
+
+/** Outcome of one cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** A valid line was evicted to make room. */
+    bool hasVictim = false;
+    /** Line id (addr / lineBytes) of the victim, if any. */
+    uint64_t victimLine = 0;
+};
+
+/** Set-associative LRU cache, one configuration per instance. */
+class CacheSim
+{
+  public:
+    explicit CacheSim(const CacheConfig &config,
+                      bool track_compulsory = false);
+
+    /** Simulate one reference; returns hit/miss and any victim. */
+    AccessResult access(uint64_t addr, bool write = false);
+
+    /** Sink-compatible overload. */
+    void
+    operator()(const trace::Access &a)
+    {
+        access(a.addr, a.isWrite);
+    }
+
+    /** Invalidate one line by line id (inclusion back-invalidate). */
+    void invalidateLine(uint64_t line_id);
+
+    /** Invalidate every line overlapping [addr_lo, addr_hi). */
+    void invalidateRange(uint64_t addr_lo, uint64_t addr_hi);
+
+    const CacheConfig &config() const { return config_; }
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    /** First-reference (start-up) misses; only when tracking is on. */
+    uint64_t compulsoryMisses() const { return compulsory_; }
+    /** Dirty lines written back on eviction or invalidation. */
+    uint64_t writebacks() const { return writebacks_; }
+
+    double
+    missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) /
+                               static_cast<double>(accesses_)
+                         : 0.0;
+    }
+
+    /** Reset contents and statistics. */
+    void reset();
+
+  private:
+    /** One cached line: id plus write-back state. */
+    struct Entry
+    {
+        uint64_t line;
+        bool dirty;
+    };
+
+    /** One set: entries ordered most- to least-recently used. */
+    using Set = std::vector<Entry>;
+
+    uint64_t lineId(uint64_t addr) const { return addr / config_.lineBytes; }
+
+    uint32_t
+    setIndex(uint64_t line_id) const
+    {
+        return static_cast<uint32_t>(line_id & (config_.sets - 1));
+    }
+
+    CacheConfig config_;
+    std::vector<Set> sets_;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t compulsory_ = 0;
+    uint64_t writebacks_ = 0;
+    bool trackCompulsory_;
+    std::unordered_set<uint64_t> seenLines_;
+};
+
+} // namespace pico::cache
+
+#endif // PICO_CACHE_CACHE_SIM_HPP

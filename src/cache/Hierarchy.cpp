@@ -1,0 +1,99 @@
+#include "cache/Hierarchy.hpp"
+
+#include "support/Logging.hpp"
+
+namespace pico::cache
+{
+
+bool
+HierarchyConfig::inclusionFeasible() const
+{
+    return ucache.sizeBytes() >= icache.sizeBytes() &&
+           ucache.sizeBytes() >= dcache.sizeBytes() &&
+           ucache.lineBytes >= icache.lineBytes &&
+           ucache.lineBytes >= dcache.lineBytes;
+}
+
+double
+HierarchyConfig::areaCost() const
+{
+    return icache.areaCost() + dcache.areaCost() + ucache.areaCost();
+}
+
+HierarchySim::HierarchySim(const HierarchyConfig &config)
+    : config_(config), icache_(config.icache), dcache_(config.dcache),
+      ucache_(config.ucache)
+{
+    fatalIf(!config.inclusionFeasible(),
+            "hierarchy violates the inclusion requirement");
+}
+
+void
+HierarchySim::access(const trace::Access &a)
+{
+    if (a.isInstr)
+        icache_.access(a.addr, false);
+    else
+        dcache_.access(a.addr, a.isWrite);
+    // Decoupled: the unified cache sees the entire trace.
+    ucache_.access(a.addr, a.isWrite);
+}
+
+HierarchyStats
+HierarchySim::stats() const
+{
+    HierarchyStats s;
+    s.iAccesses = icache_.accesses();
+    s.iMisses = icache_.misses();
+    s.dAccesses = dcache_.accesses();
+    s.dMisses = dcache_.misses();
+    s.uAccesses = ucache_.accesses();
+    s.uMisses = ucache_.misses();
+    return s;
+}
+
+CoupledHierarchySim::CoupledHierarchySim(const HierarchyConfig &config)
+    : config_(config), icache_(config.icache), dcache_(config.dcache),
+      ucache_(config.ucache)
+{
+    fatalIf(!config.inclusionFeasible(),
+            "hierarchy violates the inclusion requirement");
+}
+
+void
+CoupledHierarchySim::access(const trace::Access &a)
+{
+    AccessResult l1 = a.isInstr ? icache_.access(a.addr, false)
+                                : dcache_.access(a.addr, a.isWrite);
+    if (l1.hit)
+        return;
+
+    ++uAccesses_;
+    AccessResult l2 = ucache_.access(a.addr, a.isWrite);
+    if (!l2.hit) {
+        ++uMisses_;
+        if (l2.hasVictim) {
+            // Inclusion: evicting an L2 line removes any copies of
+            // its bytes from both L1s.
+            uint64_t lo = l2.victimLine * config_.ucache.lineBytes;
+            uint64_t hi = lo + config_.ucache.lineBytes;
+            icache_.invalidateRange(lo, hi);
+            dcache_.invalidateRange(lo, hi);
+        }
+    }
+}
+
+HierarchyStats
+CoupledHierarchySim::stats() const
+{
+    HierarchyStats s;
+    s.iAccesses = icache_.accesses();
+    s.iMisses = icache_.misses();
+    s.dAccesses = dcache_.accesses();
+    s.dMisses = dcache_.misses();
+    s.uAccesses = uAccesses_;
+    s.uMisses = uMisses_;
+    return s;
+}
+
+} // namespace pico::cache

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Two-level memory hierarchy simulation and the stall-cycle model.
+ *
+ * The paper's hierarchical evaluation relies on the inclusion
+ * property (section 3.1): the unified L2 contains everything in the
+ * L1s, so L2 misses are independent of the L1 configurations and can
+ * be obtained by simulating the *entire* unified address trace.
+ * HierarchySim implements exactly that decoupled evaluation.
+ * CoupledHierarchySim is the conventional filtered simulation (L2
+ * sees only L1 misses, with back-invalidation enforcing inclusion);
+ * it exists to quantify how good the decoupling approximation is.
+ */
+
+#ifndef PICO_CACHE_HIERARCHY_HPP
+#define PICO_CACHE_HIERARCHY_HPP
+
+#include <cstdint>
+
+#include "cache/CacheConfig.hpp"
+#include "cache/CacheSim.hpp"
+#include "trace/Access.hpp"
+
+namespace pico::cache
+{
+
+/** Configurations plus latency parameters of a full hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig icache;
+    CacheConfig dcache;
+    CacheConfig ucache;
+    /** L1-miss penalty: latency of an L2 hit, in cycles. */
+    uint32_t l2HitLatency = 10;
+    /** L2-miss penalty: latency of main memory, in cycles. */
+    uint32_t memoryLatency = 80;
+
+    /**
+     * The paper requires the L1 parameters to permit inclusion:
+     * the L2 must be at least as large as each L1 and its lines at
+     * least as long.
+     */
+    bool inclusionFeasible() const;
+
+    /** Total area cost of the three caches. */
+    double areaCost() const;
+};
+
+/** Per-level miss statistics. */
+struct HierarchyStats
+{
+    uint64_t iAccesses = 0;
+    uint64_t iMisses = 0;
+    uint64_t dAccesses = 0;
+    uint64_t dMisses = 0;
+    uint64_t uAccesses = 0;
+    uint64_t uMisses = 0;
+
+    /**
+     * Stall cycles under the paper's additive model: every L1 miss
+     * pays the L2 hit latency, every L2 miss additionally pays the
+     * memory latency.
+     */
+    uint64_t
+    stallCycles(const HierarchyConfig &cfg) const
+    {
+        return (iMisses + dMisses) * cfg.l2HitLatency +
+               uMisses * cfg.memoryLatency;
+    }
+};
+
+/**
+ * Decoupled hierarchy simulation (the paper's method): the L2 is
+ * driven by the full unified trace regardless of the L1s.
+ */
+class HierarchySim
+{
+  public:
+    explicit HierarchySim(const HierarchyConfig &config);
+
+    /** Feed one unified-trace reference. */
+    void access(const trace::Access &a);
+
+    /** Sink-compatible overload. */
+    void operator()(const trace::Access &a) { access(a); }
+
+    HierarchyStats stats() const;
+    const HierarchyConfig &config() const { return config_; }
+
+  private:
+    HierarchyConfig config_;
+    CacheSim icache_;
+    CacheSim dcache_;
+    CacheSim ucache_;
+};
+
+/**
+ * Conventional coupled simulation: L2 sees only L1 misses; inclusion
+ * is enforced by back-invalidating L1 lines covered by L2 victims.
+ */
+class CoupledHierarchySim
+{
+  public:
+    explicit CoupledHierarchySim(const HierarchyConfig &config);
+
+    void access(const trace::Access &a);
+    void operator()(const trace::Access &a) { access(a); }
+
+    HierarchyStats stats() const;
+
+  private:
+    HierarchyConfig config_;
+    CacheSim icache_;
+    CacheSim dcache_;
+    CacheSim ucache_;
+    uint64_t uAccesses_ = 0;
+    uint64_t uMisses_ = 0;
+};
+
+} // namespace pico::cache
+
+#endif // PICO_CACHE_HIERARCHY_HPP

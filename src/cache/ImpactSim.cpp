@@ -1,0 +1,57 @@
+#include "cache/ImpactSim.hpp"
+
+namespace pico::cache
+{
+
+ImpactSim::ImpactSim(const CacheConfig &config, bool model_write_buffer)
+    : config_(config), modelWriteBuffer_(model_write_buffer)
+{
+    config_.validate();
+    ways_.resize(static_cast<size_t>(config_.sets) * config_.assoc);
+}
+
+bool
+ImpactSim::access(uint64_t addr, bool write)
+{
+    ++accesses_;
+    ++clock_;
+
+    uint64_t line = addr / config_.lineBytes;
+    auto set_index = static_cast<size_t>(line & (config_.sets - 1));
+    Way *base = &ways_[set_index * config_.assoc];
+
+    // Linear tag probe over the set.
+    Way *lru = base;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lastUse = clock_;
+            return true;
+        }
+        if (!way.valid) {
+            // Prefer an invalid way as the fill target.
+            if (lru->valid)
+                lru = &way;
+        } else if (lru->valid && way.lastUse < lru->lastUse) {
+            lru = &way;
+        }
+    }
+
+    // Miss. With the write-buffer model, a missing store to the line
+    // currently held by the one-entry write buffer merges into it and
+    // is not recounted as a miss; the line still fills, so cache
+    // contents never diverge from the reference simulator.
+    bool merged = modelWriteBuffer_ && write &&
+                  line == pendingWriteLine_;
+    if (!merged)
+        ++misses_;
+    if (write)
+        pendingWriteLine_ = line;
+
+    lru->tag = line;
+    lru->valid = true;
+    lru->lastUse = clock_;
+    return false;
+}
+
+} // namespace pico::cache

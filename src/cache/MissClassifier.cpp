@@ -1,0 +1,43 @@
+#include "cache/MissClassifier.hpp"
+
+namespace pico::cache
+{
+
+namespace
+{
+
+CacheConfig
+fullyAssociativeTwin(const CacheConfig &config)
+{
+    CacheConfig twin;
+    twin.sets = 1;
+    twin.assoc = config.sets * config.assoc;
+    twin.lineBytes = config.lineBytes;
+    return twin;
+}
+
+} // namespace
+
+MissClassifier::MissClassifier(const CacheConfig &config)
+    : config_(config), target_(config, /*track_compulsory=*/true),
+      fullyAssociative_(fullyAssociativeTwin(config))
+{}
+
+void
+MissClassifier::access(uint64_t addr, bool write)
+{
+    ++breakdown_.accesses;
+    uint64_t compulsory_before = target_.compulsoryMisses();
+    bool target_hit = target_.access(addr, write).hit;
+    bool full_hit = fullyAssociative_.access(addr, write).hit;
+    if (target_hit)
+        return;
+    if (target_.compulsoryMisses() != compulsory_before)
+        ++breakdown_.compulsory;
+    else if (!full_hit)
+        ++breakdown_.capacity;
+    else
+        ++breakdown_.conflict;
+}
+
+} // namespace pico::cache

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Three-C miss classification: compulsory / capacity / conflict.
+ *
+ * The AHH model reasons about steady-state interference misses
+ * (section 4.2 ignores start-up and non-stationary components); this
+ * analyzer makes those categories measurable. A reference of a cache
+ * is classified against the cache itself plus a fully associative
+ * LRU cache of equal capacity:
+ *
+ *   compulsory — first reference to the line anywhere,
+ *   capacity   — misses in the fully associative cache too,
+ *   conflict   — hits fully associative but misses here
+ *                (set-mapping interference, what dilation inflates).
+ */
+
+#ifndef PICO_CACHE_MISS_CLASSIFIER_HPP
+#define PICO_CACHE_MISS_CLASSIFIER_HPP
+
+#include "cache/CacheConfig.hpp"
+#include "cache/CacheSim.hpp"
+#include "trace/Access.hpp"
+
+namespace pico::cache
+{
+
+/** Classified miss counts. */
+struct MissBreakdown
+{
+    uint64_t accesses = 0;
+    uint64_t compulsory = 0;
+    uint64_t capacity = 0;
+    uint64_t conflict = 0;
+
+    uint64_t
+    totalMisses() const
+    {
+        return compulsory + capacity + conflict;
+    }
+};
+
+/** Classifies every miss of one configuration. */
+class MissClassifier
+{
+  public:
+    explicit MissClassifier(const CacheConfig &config);
+
+    /** Simulate and classify one reference. */
+    void access(uint64_t addr, bool write = false);
+
+    /** Sink-compatible overload. */
+    void
+    operator()(const trace::Access &a)
+    {
+        access(a.addr, a.isWrite);
+    }
+
+    const MissBreakdown &breakdown() const { return breakdown_; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    CacheConfig config_;
+    CacheSim target_;
+    CacheSim fullyAssociative_;
+    MissBreakdown breakdown_;
+};
+
+} // namespace pico::cache
+
+#endif // PICO_CACHE_MISS_CLASSIFIER_HPP

@@ -1,0 +1,115 @@
+#include "cache/SinglePassSim.hpp"
+
+#include "support/BitUtils.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::cache
+{
+
+SinglePassSim::SinglePassSim(uint32_t line_bytes, uint32_t min_sets,
+                             uint32_t max_sets, uint32_t max_assoc)
+    : lineBytes_(line_bytes), minSets_(min_sets), maxSets_(max_sets),
+      maxAssoc_(max_assoc)
+{
+    fatalIf(!isPowerOfTwo(line_bytes) || line_bytes < 4,
+            "bad line size ", line_bytes);
+    fatalIf(!isPowerOfTwo(min_sets) || !isPowerOfTwo(max_sets) ||
+                min_sets > max_sets,
+            "bad set-count range [", min_sets, ", ", max_sets, "]");
+    fatalIf(max_assoc == 0, "max associativity must be positive");
+
+    size_t levels = log2Floor(max_sets) - log2Floor(min_sets) + 1;
+    stacks_.resize(levels);
+    hist_.resize(levels);
+    for (size_t lv = 0; lv < levels; ++lv) {
+        stacks_[lv].resize(static_cast<size_t>(minSets_) << lv);
+        hist_[lv].assign(maxAssoc_, 0);
+    }
+}
+
+size_t
+SinglePassSim::levelOf(uint32_t sets) const
+{
+    fatalIf(!isPowerOfTwo(sets) || sets < minSets_ || sets > maxSets_,
+            "set count ", sets, " outside simulated range");
+    return log2Floor(sets) - log2Floor(minSets_);
+}
+
+void
+SinglePassSim::access(uint64_t addr)
+{
+    ++accesses_;
+    uint64_t line = addr / lineBytes_;
+    for (size_t lv = 0; lv < stacks_.size(); ++lv) {
+        uint64_t sets = static_cast<uint64_t>(minSets_) << lv;
+        auto &stack = stacks_[lv][line & (sets - 1)];
+
+        // Find the stack distance of this line within its set.
+        size_t depth = stack.size();
+        for (size_t d = 0; d < stack.size(); ++d) {
+            if (stack[d] == line) {
+                depth = d;
+                break;
+            }
+        }
+        if (depth < stack.size()) {
+            // Hit at distance `depth` for associativities > depth.
+            hist_[lv][depth] += 1;
+            stack.erase(stack.begin() +
+                        static_cast<ptrdiff_t>(depth));
+        } else if (stack.size() >= maxAssoc_) {
+            // Beyond the deepest tracked distance: a miss for every
+            // simulated associativity; drop the LRU entry.
+            stack.pop_back();
+        }
+        stack.insert(stack.begin(), line);
+    }
+}
+
+uint64_t
+SinglePassSim::misses(uint32_t sets, uint32_t assoc) const
+{
+    fatalIf(assoc == 0 || assoc > maxAssoc_,
+            "associativity ", assoc, " outside simulated range");
+    const auto &hist = hist_[levelOf(sets)];
+    uint64_t hits = 0;
+    for (uint32_t d = 0; d < assoc; ++d)
+        hits += hist[d];
+    return accesses_ - hits;
+}
+
+uint64_t
+SinglePassSim::misses(const CacheConfig &config) const
+{
+    fatalIf(!covers(config),
+            "configuration ", config.name(), " not covered");
+    return misses(config.sets, config.assoc);
+}
+
+bool
+SinglePassSim::covers(const CacheConfig &config) const
+{
+    return config.lineBytes == lineBytes_ && config.assoc >= 1 &&
+           config.assoc <= maxAssoc_ && isPowerOfTwo(config.sets) &&
+           config.sets >= minSets_ && config.sets <= maxSets_;
+}
+
+std::vector<CacheConfig>
+SinglePassSim::coveredConfigs() const
+{
+    std::vector<CacheConfig> out;
+    for (uint32_t sets = minSets_; sets <= maxSets_; sets *= 2) {
+        for (uint32_t assoc = 1; assoc <= maxAssoc_; ++assoc) {
+            CacheConfig cfg;
+            cfg.sets = sets;
+            cfg.assoc = assoc;
+            cfg.lineBytes = lineBytes_;
+            out.push_back(cfg);
+        }
+        if (sets == maxSets_)
+            break;
+    }
+    return out;
+}
+
+} // namespace pico::cache

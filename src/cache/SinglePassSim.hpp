@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Single-pass multi-configuration cache simulator (Cheetah).
+ *
+ * Simulates, in one pass over an address trace, *every* LRU
+ * set-associative cache whose line size equals the fixed line size
+ * and whose set count and associativity lie within configured ranges.
+ * This is the paper's first efficiency lever (section 3.3): the
+ * number of simulation runs drops from the number of caches in the
+ * design space to the number of distinct line sizes.
+ *
+ * Algorithm: per candidate set count S, each set keeps an LRU stack
+ * truncated at the maximum associativity; the stack distance of each
+ * reference is histogrammed. By LRU inclusion, misses for
+ * associativity A are the references whose stack distance is >= A.
+ */
+
+#ifndef PICO_CACHE_SINGLE_PASS_SIM_HPP
+#define PICO_CACHE_SINGLE_PASS_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/CacheConfig.hpp"
+#include "trace/Access.hpp"
+
+namespace pico::cache
+{
+
+/** All-associativity, all-set-count simulator for one line size. */
+class SinglePassSim
+{
+  public:
+    /**
+     * @param line_bytes fixed line size (power of two)
+     * @param min_sets smallest set count simulated (power of two)
+     * @param max_sets largest set count simulated (power of two)
+     * @param max_assoc largest associativity simulated
+     */
+    SinglePassSim(uint32_t line_bytes, uint32_t min_sets,
+                  uint32_t max_sets, uint32_t max_assoc);
+
+    /** Feed one reference. */
+    void access(uint64_t addr);
+
+    /** Sink-compatible overload. */
+    void operator()(const trace::Access &a) { access(a.addr); }
+
+    /** Total references observed. */
+    uint64_t accesses() const { return accesses_; }
+
+    /**
+     * Misses of the cache with the given set count and associativity
+     * (and this simulator's line size).
+     */
+    uint64_t misses(uint32_t sets, uint32_t assoc) const;
+
+    /** Misses of a configuration; must match the simulated ranges. */
+    uint64_t misses(const CacheConfig &config) const;
+
+    /** True when the configuration is covered by this simulator. */
+    bool covers(const CacheConfig &config) const;
+
+    uint32_t lineBytes() const { return lineBytes_; }
+    uint32_t minSets() const { return minSets_; }
+    uint32_t maxSets() const { return maxSets_; }
+    uint32_t maxAssoc() const { return maxAssoc_; }
+
+    /** All configurations covered, in (sets, assoc) order. */
+    std::vector<CacheConfig> coveredConfigs() const;
+
+  private:
+    /** Index of a set count in the stacks_/hist_ arrays. */
+    size_t levelOf(uint32_t sets) const;
+
+    uint32_t lineBytes_;
+    uint32_t minSets_;
+    uint32_t maxSets_;
+    uint32_t maxAssoc_;
+    uint64_t accesses_ = 0;
+
+    /** Per level (set count), per set: truncated LRU stack. */
+    std::vector<std::vector<std::vector<uint64_t>>> stacks_;
+    /** Per level: histogram of stack distances [0, maxAssoc). */
+    std::vector<std::vector<uint64_t>> hist_;
+};
+
+} // namespace pico::cache
+
+#endif // PICO_CACHE_SINGLE_PASS_SIM_HPP

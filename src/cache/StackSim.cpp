@@ -1,0 +1,49 @@
+#include "cache/StackSim.hpp"
+
+#include "support/BitUtils.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::cache
+{
+
+StackSim::StackSim(uint32_t line_bytes) : lineBytes_(line_bytes)
+{
+    fatalIf(!isPowerOfTwo(line_bytes) || line_bytes < 4,
+            "bad line size ", line_bytes);
+}
+
+void
+StackSim::access(uint64_t addr)
+{
+    ++accesses_;
+    uint64_t line = addr / lineBytes_;
+
+    // Find the stack distance; move-to-front on hit.
+    for (size_t d = 0; d < stack_.size(); ++d) {
+        if (stack_[d] == line) {
+            if (hist_.size() <= d)
+                hist_.resize(d + 1, 0);
+            ++hist_[d];
+            stack_.erase(stack_.begin() +
+                         static_cast<ptrdiff_t>(d));
+            stack_.insert(stack_.begin(), line);
+            return;
+        }
+    }
+    // Cold miss: infinite stack distance.
+    stack_.insert(stack_.begin(), line);
+}
+
+uint64_t
+StackSim::misses(uint64_t capacity_lines) const
+{
+    fatalIf(capacity_lines == 0, "zero-capacity cache");
+    uint64_t hits = 0;
+    uint64_t depth = std::min<uint64_t>(capacity_lines,
+                                        hist_.size());
+    for (uint64_t d = 0; d < depth; ++d)
+        hits += hist_[d];
+    return accesses_ - hits;
+}
+
+} // namespace pico::cache

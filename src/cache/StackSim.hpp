@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Mattson stack-distance simulator for fully associative LRU caches.
+ *
+ * The second classic single-pass algorithm in Cheetah's family
+ * (Sugumar & Abraham [17]): one pass over the trace yields the miss
+ * counts of *every* fully associative LRU capacity simultaneously,
+ * via the LRU stack-distance histogram. Used by the fully
+ * associative analyses (three-C classification sweeps, AHH model
+ * validation) and as a cross-check for SinglePassSim's single-set
+ * configurations.
+ */
+
+#ifndef PICO_CACHE_STACK_SIM_HPP
+#define PICO_CACHE_STACK_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/Access.hpp"
+
+namespace pico::cache
+{
+
+/** All-capacity fully associative LRU simulator. */
+class StackSim
+{
+  public:
+    /**
+     * @param line_bytes line size (power of two, >= 4)
+     */
+    explicit StackSim(uint32_t line_bytes);
+
+    /** Feed one reference. */
+    void access(uint64_t addr);
+
+    /** Sink-compatible overload. */
+    void operator()(const trace::Access &a) { access(a.addr); }
+
+    /** Total references observed. */
+    uint64_t accesses() const { return accesses_; }
+
+    /** Cold (first-reference) misses = unique lines touched. */
+    uint64_t
+    coldMisses() const
+    {
+        return static_cast<uint64_t>(stack_.size());
+    }
+
+    /**
+     * Misses of a fully associative LRU cache holding
+     * `capacity_lines` lines. By stack inclusion this is exact for
+     * every capacity from one pass.
+     */
+    uint64_t misses(uint64_t capacity_lines) const;
+
+    /** Misses of a capacity given in bytes. */
+    uint64_t
+    missesForBytes(uint64_t capacity_bytes) const
+    {
+        return misses(capacity_bytes / lineBytes_);
+    }
+
+    /**
+     * Stack-distance histogram: hist[d] counts references that hit
+     * at LRU depth d (0 = most recently used).
+     */
+    const std::vector<uint64_t> &histogram() const { return hist_; }
+
+    uint32_t lineBytes() const { return lineBytes_; }
+
+  private:
+    uint32_t lineBytes_;
+    uint64_t accesses_ = 0;
+    /** LRU stack, most recent first. */
+    std::vector<uint64_t> stack_;
+    std::vector<uint64_t> hist_;
+};
+
+} // namespace pico::cache
+
+#endif // PICO_CACHE_STACK_SIM_HPP

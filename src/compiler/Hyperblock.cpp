@@ -1,0 +1,140 @@
+#include "compiler/Hyperblock.hpp"
+
+#include <vector>
+
+#include "support/Logging.hpp"
+
+namespace pico::compiler
+{
+
+namespace
+{
+
+/**
+ * Find one mergeable triangle in a function: returns the index of
+ * the guarded block B (A = B - 1), or 0 when none exists.
+ */
+uint32_t
+findTriangle(const ir::Function &func)
+{
+    for (uint32_t b = 1; b < func.blocks.size(); ++b) {
+        const auto &guarded = func.blocks[b];
+        uint32_t a = b - 1;
+        const auto &head = func.blocks[a];
+
+        // B must be a single-successor, call-free fall-through
+        // block; A must branch over it to B's unique successor.
+        if (guarded.succs.size() != 1 || guarded.callee >= 0 ||
+            guarded.indirectCall) {
+            continue;
+        }
+        uint32_t join = guarded.succs[0].target;
+        if (join <= b)
+            continue; // forward join only, no loops
+        if (head.succs.size() != 2 || head.callee >= 0 ||
+            head.indirectCall) {
+            continue;
+        }
+        bool head_to_b = false, head_to_join = false;
+        for (const auto &edge : head.succs) {
+            if (edge.target == b)
+                head_to_b = true;
+            else if (edge.target == join)
+                head_to_join = true;
+        }
+        if (!head_to_b || !head_to_join)
+            continue;
+
+        // B may be reached only from A.
+        bool other_pred = false;
+        for (uint32_t k = 0; k < func.blocks.size(); ++k) {
+            if (k == a)
+                continue;
+            for (const auto &edge : func.blocks[k].succs) {
+                if (edge.target == b)
+                    other_pred = true;
+            }
+        }
+        if (other_pred)
+            continue;
+        return b;
+    }
+    return 0;
+}
+
+/** Merge guarded block B into A = B - 1 and renumber. */
+void
+mergeTriangle(ir::Function &func, uint32_t b, HyperblockStats &stats)
+{
+    auto &head = func.blocks[b - 1];
+    auto &guarded = func.blocks[b];
+    uint32_t join = guarded.succs[0].target;
+
+    // Drop A's conditional branch; append B's body predicated;
+    // close with B's (now unconditional) branch.
+    panicIf(head.ops.empty() || !head.ops.back().isBranch(),
+            "hyperblock head lacks a terminating branch");
+    head.ops.pop_back();
+    auto shift = static_cast<uint16_t>(head.ops.size());
+    for (auto op : guarded.ops) {
+        if (!op.isBranch()) {
+            op.predicated = true;
+            ++stats.predicatedOps;
+        }
+        for (auto &dep : op.deps)
+            dep = static_cast<uint16_t>(dep + shift);
+        head.ops.push_back(std::move(op));
+    }
+
+    head.succs.clear();
+    head.succs.push_back({join, 1.0});
+    head.callee = guarded.callee;
+    head.indirectCall = guarded.indirectCall;
+
+    // Remove B and renumber every later block and edge target.
+    func.blocks.erase(func.blocks.begin() + b);
+    for (auto &block : func.blocks) {
+        for (auto &edge : block.succs) {
+            panicIf(edge.target == b, "edge into merged block");
+            if (edge.target > b)
+                --edge.target;
+        }
+    }
+    ++stats.merged;
+}
+
+} // namespace
+
+ir::Program
+formHyperblocks(const ir::Program &prog, HyperblockStats *stats)
+{
+    fatalIf(!prog.finalized(), "formHyperblocks needs a finalized "
+                               "program");
+    HyperblockStats local;
+
+    ir::Program out;
+    out.name = prog.name;
+    out.seed = prog.seed;
+    out.streams = prog.streams;
+    out.entryFunction = prog.entryFunction;
+    out.functions = prog.functions;
+
+    for (auto &func : out.functions) {
+        for (;;) {
+            uint32_t b = findTriangle(func);
+            if (b == 0)
+                break;
+            mergeTriangle(func, b, local);
+        }
+        // Stale derived fields; finalize() recomputes them.
+        for (auto &block : func.blocks)
+            block.isBranchTarget = false;
+    }
+
+    out.finalize();
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace pico::compiler

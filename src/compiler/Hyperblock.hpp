@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hyperblock formation: if-conversion for predicated machines.
+ *
+ * Machines with predicate registers let the compiler convert
+ * triangle-shaped control flow (A branches over B to C, B falls
+ * into C) into straight-line code: B's operations are merged into A
+ * under a predicate and the conditional branch disappears. This
+ * changes the basic-block trace, which is exactly why the paper
+ * requires the reference and target processors to share
+ * predication features and uses one reference processor per
+ * predication/speculation combination (section 4.1).
+ */
+
+#ifndef PICO_COMPILER_HYPERBLOCK_HPP
+#define PICO_COMPILER_HYPERBLOCK_HPP
+
+#include "ir/Program.hpp"
+
+namespace pico::compiler
+{
+
+/** Statistics of one if-conversion pass. */
+struct HyperblockStats
+{
+    /** Triangles merged across the program. */
+    uint32_t merged = 0;
+    /** Operations that became predicated. */
+    uint32_t predicatedOps = 0;
+};
+
+/**
+ * If-convert a program for a predicated machine.
+ *
+ * Triangles A -> {B, C}, B -> C (with B = A + 1 reached only from
+ * A) are merged: A keeps its body, absorbs B's operations as
+ * predicated ops, and branches unconditionally to C. The transform
+ * iterates until no triangle remains, so chains of if-then blocks
+ * collapse into hyperblocks.
+ *
+ * @param prog finalized source program (unchanged)
+ * @param stats optional out-parameter for transform statistics
+ * @return a new finalized program with hyperblocks formed
+ */
+ir::Program formHyperblocks(const ir::Program &prog,
+                            HyperblockStats *stats = nullptr);
+
+} // namespace pico::compiler
+
+#endif // PICO_COMPILER_HYPERBLOCK_HPP

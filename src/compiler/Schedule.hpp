@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Scheduled-code representation: the compiler's output.
+ *
+ * A ScheduledProgram is the analogue of the "scheduled and register
+ * allocated assembly code" the paper's compiler hands to the assembler
+ * and the emulator. It is machine dependent (schedules, speculation
+ * and spill code differ per machine) but instruction-format
+ * independent, exactly as in the paper.
+ */
+
+#ifndef PICO_COMPILER_SCHEDULE_HPP
+#define PICO_COMPILER_SCHEDULE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/Operation.hpp"
+#include "machine/MachineDesc.hpp"
+
+namespace pico::compiler
+{
+
+/** Sentinel origIndex for compiler-synthesized (spill) operations. */
+constexpr uint16_t synthesizedOp = 0xffff;
+
+/** One operation placed in a VLIW instruction. */
+struct ScheduledOp
+{
+    ir::OpClass opClass = ir::OpClass::IntAlu;
+    ir::MemKind memKind = ir::MemKind::None;
+    /** Data stream for non-spill memory operations. */
+    uint16_t streamId = 0;
+    /** Index of the source operation in the IR block. */
+    uint16_t origIndex = synthesizedOp;
+    /** Spill load/store synthesized by the register allocator. */
+    bool spill = false;
+    /** Load hoisted speculatively above its dependences. */
+    bool speculated = false;
+
+    bool isLoad() const { return memKind == ir::MemKind::Load; }
+    bool isStore() const { return memKind == ir::MemKind::Store; }
+    bool isMem() const { return memKind != ir::MemKind::None; }
+};
+
+/** One VLIW instruction: the operations issued in one cycle. */
+struct VliwInst
+{
+    std::vector<ScheduledOp> ops;
+
+    bool isNop() const { return ops.empty(); }
+    unsigned occupancy() const { return ops.size(); }
+};
+
+/** Schedule of one basic block. */
+struct ScheduledBlock
+{
+    /** One instruction per issue cycle, in order; may contain nops. */
+    std::vector<VliwInst> insts;
+    /** Spill load/store pairs inserted. */
+    uint16_t numSpills = 0;
+    /** Loads scheduled speculatively. */
+    uint16_t numSpeculated = 0;
+    /** Peak simultaneously-live values observed while scheduling. */
+    uint16_t maxLive = 0;
+
+    uint32_t
+    scheduleLength() const
+    {
+        return static_cast<uint32_t>(insts.size());
+    }
+
+    /** Total scheduled operations (including spill code). */
+    uint32_t
+    totalOps() const
+    {
+        uint32_t n = 0;
+        for (const auto &inst : insts)
+            n += inst.occupancy();
+        return n;
+    }
+};
+
+/** Schedule of one function: blocks parallel to the IR function. */
+struct ScheduledFunction
+{
+    std::vector<ScheduledBlock> blocks;
+};
+
+/** Schedule of a whole program for one machine. */
+struct ScheduledProgram
+{
+    machine::MachineDesc mdes;
+    std::vector<ScheduledFunction> functions;
+
+    /** Total scheduled operations over the program. */
+    uint64_t
+    totalOps() const
+    {
+        uint64_t n = 0;
+        for (const auto &func : functions)
+            for (const auto &block : func.blocks)
+                n += block.totalOps();
+        return n;
+    }
+};
+
+} // namespace pico::compiler
+
+#endif // PICO_COMPILER_SCHEDULE_HPP

@@ -1,0 +1,361 @@
+#include "compiler/Scheduler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "support/Logging.hpp"
+
+namespace pico::compiler
+{
+
+namespace
+{
+
+/** Deterministic hash-to-[0,1) used for speculation decisions. */
+double
+hashToUnit(uint64_t salt, uint64_t index)
+{
+    uint64_t z = salt ^ (index * 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+ScheduledProgram
+Scheduler::schedule(const ir::Program &prog,
+                    const machine::MachineDesc &mdes) const
+{
+    fatalIf(!prog.finalized(), "schedule() needs a finalized program");
+    ScheduledProgram out;
+    out.mdes = mdes;
+    out.functions.resize(prog.functions.size());
+    for (size_t fi = 0; fi < prog.functions.size(); ++fi) {
+        const auto &func = prog.functions[fi];
+        auto &sfunc = out.functions[fi];
+        sfunc.blocks.resize(func.blocks.size());
+        for (size_t bi = 0; bi < func.blocks.size(); ++bi) {
+            uint64_t salt = prog.seed ^ (fi * 1000003ULL + bi * 10007ULL);
+            sfunc.blocks[bi] =
+                scheduleBlock(func.blocks[bi], mdes, salt);
+        }
+    }
+    return out;
+}
+
+ScheduledBlock
+Scheduler::scheduleBlock(const ir::BasicBlock &block,
+                         const machine::MachineDesc &mdes,
+                         uint64_t salt) const
+{
+    const size_t n = block.ops.size();
+    const unsigned width = mdes.issueWidth();
+
+    // --- Speculation decisions -------------------------------------
+    // Wider machines have idle slots; the compiler fills some of them
+    // by hoisting speculable loads above their dependences.
+    double spec_prob = 0.0;
+    if (mdes.speculation && width > 4) {
+        spec_prob = std::min(options_.speculationCap,
+                             options_.speculationPerSlot *
+                             static_cast<double>(width - 4));
+    }
+
+    std::vector<bool> speculated(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        const auto &op = block.ops[i];
+        if (op.speculable && op.isLoad() &&
+            hashToUnit(salt, i) < spec_prob) {
+            speculated[i] = true;
+        }
+    }
+
+    // --- Dependence edges (speculated loads drop their deps) --------
+    std::vector<std::vector<uint16_t>> succs(n);
+    std::vector<std::vector<uint16_t>> preds(n);
+    std::vector<unsigned> indeg(n, 0);
+    auto addEdge = [&](uint16_t from, uint16_t to) {
+        succs[from].push_back(to);
+        preds[to].push_back(from);
+        ++indeg[to];
+    };
+    for (size_t i = 0; i < n; ++i) {
+        if (speculated[i])
+            continue;
+        for (auto dep : block.ops[i].deps)
+            addEdge(dep, static_cast<uint16_t>(i));
+    }
+    // A block-ending branch issues only after every other op has
+    // issued; model that with implicit edges.
+    for (size_t i = 0; i < n; ++i) {
+        if (!block.ops[i].isBranch())
+            continue;
+        for (size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            bool already = false;
+            for (auto s : succs[j]) {
+                if (s == i) {
+                    already = true;
+                    break;
+                }
+            }
+            if (!already) {
+                addEdge(static_cast<uint16_t>(j),
+                        static_cast<uint16_t>(i));
+            }
+        }
+    }
+
+    // --- Priorities: critical-path height ---------------------------
+    std::vector<unsigned> height(n, 0);
+    for (size_t ri = n; ri-- > 0;) {
+        unsigned h = 0;
+        for (auto s : succs[ri])
+            h = std::max(h, height[s]);
+        height[ri] = h + block.ops[ri].latency;
+    }
+
+    // --- Cycle-driven list scheduling --------------------------------
+    std::vector<int64_t> issueCycle(n, -1);
+    std::vector<int64_t> readyCycle(n, 0);
+    std::vector<unsigned> remaining(indeg);
+    std::vector<uint16_t> ready;
+    for (size_t i = 0; i < n; ++i) {
+        if (remaining[i] == 0)
+            ready.push_back(static_cast<uint16_t>(i));
+    }
+
+    ScheduledBlock out;
+    size_t scheduled = 0;
+    int64_t cycle = 0;
+    while (scheduled < n) {
+        VliwInst inst;
+        std::array<unsigned, machine::numOpClasses> used = {};
+
+        // Highest critical-path height first; stable tie-break by
+        // original order keeps the schedule deterministic.
+        std::sort(ready.begin(), ready.end(),
+                  [&](uint16_t a, uint16_t b) {
+                      if (height[a] != height[b])
+                          return height[a] > height[b];
+                      return a < b;
+                  });
+
+        std::vector<uint16_t> still_waiting;
+        for (auto idx : ready) {
+            const auto &op = block.ops[idx];
+            auto cls = static_cast<unsigned>(op.opClass);
+            bool fits = readyCycle[idx] <= cycle &&
+                        used[cls] < mdes.slots(op.opClass) &&
+                        inst.occupancy() < width;
+            if (fits) {
+                ++used[cls];
+                issueCycle[idx] = cycle;
+                ScheduledOp sop;
+                sop.opClass = op.opClass;
+                sop.memKind = op.memKind;
+                sop.streamId = op.streamId;
+                sop.origIndex = idx;
+                sop.speculated = speculated[idx];
+                inst.ops.push_back(sop);
+                ++scheduled;
+            } else {
+                still_waiting.push_back(idx);
+            }
+        }
+        ready.swap(still_waiting);
+
+        // Release operations whose dependences all issued; the ready
+        // cycle is the max finish time over predecessors.
+        for (const auto &sop : inst.ops) {
+            for (auto s : succs[sop.origIndex]) {
+                if (--remaining[s] == 0) {
+                    int64_t rc = 0;
+                    for (auto p : preds[s]) {
+                        rc = std::max<int64_t>(
+                            rc, issueCycle[p] + block.ops[p].latency);
+                    }
+                    readyCycle[s] = rc;
+                    ready.push_back(s);
+                }
+            }
+        }
+
+        out.insts.push_back(std::move(inst));
+        ++cycle;
+        panicIf(cycle > static_cast<int64_t>(n) * 64 + 64,
+                "scheduler failed to converge");
+    }
+
+    out.numSpeculated = static_cast<uint16_t>(
+        std::count(speculated.begin(), speculated.end(), true));
+
+    // Speculation's static cost: each hoisted load needs check and
+    // recovery code. The check ops are plain integer operations that
+    // fill idle slots when possible and fresh cycles otherwise.
+    unsigned checks = out.numSpeculated * options_.checkOpsPerSpeculation;
+    if (checks > 0) {
+        auto makeCheck = [] {
+            ScheduledOp sop;
+            sop.opClass = ir::OpClass::IntAlu;
+            return sop;
+        };
+        unsigned placed_checks = 0;
+        for (auto &inst : out.insts) {
+            if (placed_checks >= checks)
+                break;
+            unsigned int_used = 0;
+            for (const auto &sop : inst.ops) {
+                if (sop.opClass == ir::OpClass::IntAlu)
+                    ++int_used;
+            }
+            while (int_used < mdes.slots(ir::OpClass::IntAlu) &&
+                   inst.occupancy() < width &&
+                   placed_checks < checks) {
+                inst.ops.push_back(makeCheck());
+                ++int_used;
+                ++placed_checks;
+            }
+        }
+        while (placed_checks < checks) {
+            VliwInst inst;
+            unsigned int_slots = mdes.slots(ir::OpClass::IntAlu);
+            for (unsigned k = 0;
+                 k < int_slots && placed_checks < checks; ++k) {
+                inst.ops.push_back(makeCheck());
+                ++placed_checks;
+            }
+            out.insts.push_back(std::move(inst));
+        }
+    }
+
+    // --- Register pressure and spill insertion -----------------------
+    // A value is live from issue until its last consumer issues; ops
+    // without consumers hold a register to the end of the block.
+    // Liveness follows the *data* dependences only (the implicit
+    // edges to the branch order issue, they do not consume values):
+    // a value lives from issue until its last real consumer issues,
+    // or until it completes when nothing consumes it.
+    std::vector<int64_t> lastUse(n);
+    for (size_t i = 0; i < n; ++i)
+        lastUse[i] = issueCycle[i] + block.ops[i].latency;
+    for (size_t i = 0; i < n; ++i) {
+        if (speculated[i])
+            continue;
+        for (auto dep : block.ops[i].deps) {
+            lastUse[dep] = std::max(lastUse[dep], issueCycle[i]);
+        }
+    }
+    int64_t end_cycle = cycle;
+    unsigned max_live = 0;
+    for (int64_t c = 0; c < end_cycle; ++c) {
+        unsigned live = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (issueCycle[i] <= c && lastUse[i] > c)
+                ++live;
+        }
+        max_live = std::max(max_live, live);
+    }
+    out.maxLive = static_cast<uint16_t>(max_live);
+
+    unsigned usable = std::max<unsigned>(
+        4, static_cast<unsigned>(options_.usableRegFraction *
+                                 mdes.intRegs));
+    if (max_live > usable) {
+        // Insert one store/load pair per excess live value. Spill
+        // code goes into free memory slots when available and into
+        // fresh cycles otherwise, growing both code size and the
+        // data trace.
+        unsigned spills = max_live - usable;
+        out.numSpills = static_cast<uint16_t>(spills);
+        unsigned placed = 0;
+        auto makeSpill = [](ir::MemKind kind) {
+            ScheduledOp sop;
+            sop.opClass = ir::OpClass::Memory;
+            sop.memKind = kind;
+            sop.spill = true;
+            return sop;
+        };
+        for (auto &inst : out.insts) {
+            if (placed >= spills * 2)
+                break;
+            unsigned mem_used = 0;
+            for (const auto &sop : inst.ops) {
+                if (sop.opClass == ir::OpClass::Memory)
+                    ++mem_used;
+            }
+            while (mem_used < mdes.slots(ir::OpClass::Memory) &&
+                   inst.occupancy() < width && placed < spills * 2) {
+                inst.ops.push_back(makeSpill(
+                    placed % 2 ? ir::MemKind::Load
+                               : ir::MemKind::Store));
+                ++mem_used;
+                ++placed;
+            }
+        }
+        while (placed < spills * 2) {
+            VliwInst inst;
+            unsigned mem_slots = mdes.slots(ir::OpClass::Memory);
+            for (unsigned k = 0;
+                 k < mem_slots && placed < spills * 2; ++k) {
+                inst.ops.push_back(makeSpill(
+                    placed % 2 ? ir::MemKind::Load
+                               : ir::MemKind::Store));
+                ++placed;
+            }
+            out.insts.push_back(std::move(inst));
+        }
+    }
+
+    return out;
+}
+
+uint64_t
+Scheduler::processorCycles(const ir::Program &prog,
+                           const ScheduledProgram &sched)
+{
+    return processorCycles(prog, sched, 0);
+}
+
+uint64_t
+Scheduler::processorCycles(const ir::Program &prog,
+                           const ScheduledProgram &sched,
+                           uint32_t dcache_ports)
+{
+    fatalIf(prog.functions.size() != sched.functions.size(),
+            "program/schedule mismatch");
+    uint64_t cycles = 0;
+    for (size_t fi = 0; fi < prog.functions.size(); ++fi) {
+        const auto &func = prog.functions[fi];
+        const auto &sfunc = sched.functions[fi];
+        fatalIf(func.blocks.size() != sfunc.blocks.size(),
+                "program/schedule block mismatch");
+        for (size_t bi = 0; bi < func.blocks.size(); ++bi) {
+            const auto &sblock = sfunc.blocks[bi];
+            uint64_t length = sblock.scheduleLength();
+            if (dcache_ports > 0) {
+                // The cache accepts at most `dcache_ports` memory
+                // operations per cycle; port-starved blocks
+                // stretch.
+                uint64_t mem_ops = 0;
+                for (const auto &inst : sblock.insts) {
+                    for (const auto &op : inst.ops) {
+                        if (op.isMem())
+                            ++mem_ops;
+                    }
+                }
+                uint64_t port_cycles =
+                    (mem_ops + dcache_ports - 1) / dcache_ports;
+                length = std::max(length, port_cycles);
+            }
+            cycles += func.blocks[bi].profileCount * length;
+        }
+    }
+    return cycles;
+}
+
+} // namespace pico::compiler

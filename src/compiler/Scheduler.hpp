@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cycle-driven list scheduler for the parameterized VLIW machines.
+ *
+ * The scheduler plays the role of the paper's Elcor back end: it maps
+ * the machine-independent IR onto a specific machine's functional
+ * units, speculating loads more aggressively on wider machines and
+ * inserting spill code when register pressure exceeds the register
+ * file — the two effects the paper identifies as the sources of data
+ * trace differences between processors (section 4.1, assumption 1).
+ */
+
+#ifndef PICO_COMPILER_SCHEDULER_HPP
+#define PICO_COMPILER_SCHEDULER_HPP
+
+#include "compiler/Schedule.hpp"
+#include "ir/Program.hpp"
+
+namespace pico::compiler
+{
+
+/** Tunables for the scheduler; defaults match the paper's regime. */
+struct SchedulerOptions
+{
+    /**
+     * Probability of speculating a speculable load grows linearly
+     * with issue slots beyond the reference width at this rate.
+     */
+    double speculationPerSlot = 0.08;
+    /** Cap on the speculation probability. */
+    double speculationCap = 0.8;
+    /**
+     * Integer check/recovery operations emitted per speculated
+     * load (static code growth of speculation; the paper notes
+     * wider processors' speculation increases static code size).
+     */
+    unsigned checkOpsPerSpeculation = 2;
+    /** Fraction of the integer register file usable for temporaries. */
+    double usableRegFraction = 0.5;
+};
+
+/** List scheduler; stateless apart from its options. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerOptions options = {})
+        : options_(options)
+    {}
+
+    /**
+     * Schedule a whole program for one machine.
+     * @param prog finalized IR program
+     * @param mdes target machine
+     * @return machine-dependent schedule, parallel to the IR
+     */
+    ScheduledProgram schedule(const ir::Program &prog,
+                              const machine::MachineDesc &mdes) const;
+
+    /**
+     * Schedule one basic block.
+     * @param block the IR block
+     * @param mdes target machine
+     * @param salt deterministic seed (derived from function/block ids)
+     */
+    ScheduledBlock scheduleBlock(const ir::BasicBlock &block,
+                                 const machine::MachineDesc &mdes,
+                                 uint64_t salt) const;
+
+    /**
+     * Estimated processor cycles of a scheduled program: the sum over
+     * blocks of profile count times schedule length. This is the
+     * paper's processor-subsystem performance metric (schedule
+     * lengths plus profile statistics, section 3.2).
+     */
+    static uint64_t processorCycles(const ir::Program &prog,
+                                    const ScheduledProgram &sched);
+
+    /**
+     * Processor cycles with data-cache port contention: a block
+     * whose memory operations exceed what `dcache_ports` can accept
+     * per cycle is stretched accordingly. This is the coupling that
+     * makes cache port count a processor-performance parameter in
+     * the design space (the paper's Pareto sets are parameterized by
+     * data/unified cache ports).
+     */
+    static uint64_t processorCycles(const ir::Program &prog,
+                                    const ScheduledProgram &sched,
+                                    uint32_t dcache_ports);
+
+  private:
+    SchedulerOptions options_;
+};
+
+} // namespace pico::compiler
+
+#endif // PICO_COMPILER_SCHEDULER_HPP

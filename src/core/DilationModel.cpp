@@ -1,0 +1,109 @@
+#include "core/DilationModel.hpp"
+
+#include <cmath>
+
+#include "core/AhhModel.hpp"
+#include "support/BitUtils.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::core
+{
+
+double
+DilationModel::icacheCollisions(uint32_t sets, uint32_t assoc,
+                                double line_bytes) const
+{
+    double uL = iParams_.uLines(line_bytes / 4.0);
+    return ahh::collisions(uL, sets, assoc);
+}
+
+double
+DilationModel::ucacheCollisions(const cache::CacheConfig &config,
+                                double dilation) const
+{
+    double line_words = static_cast<double>(config.lineBytes) / 4.0;
+    double contracted =
+        std::max(line_words / dilation, minLineBytes / 4.0);
+    // Equation 4.13's occupancy uses u(L, d) = uD(L) + uI(L / d):
+    // only the instruction component of the trace dilates.
+    double uLd = udParams_.uLines(line_words) +
+                 uiParams_.uLines(contracted);
+    return ahh::collisions(uLd, config.sets, config.assoc);
+}
+
+double
+DilationModel::estimateIcacheMisses(const cache::CacheConfig &config,
+                                    double dilation,
+                                    const MissOracle &oracle) const
+{
+    config.validate();
+    fatalIf(dilation <= 0.0, "dilation must be positive");
+
+    // Lemma 1: misses on a trace dilated by d equal the misses of the
+    // same cache with line size L / d on the undilated trace.
+    double contracted =
+        std::max(static_cast<double>(config.lineBytes) / dilation,
+                 minLineBytes);
+
+    // Feasible contracted line size: simulate directly.
+    double rounded = std::round(contracted);
+    if (std::abs(contracted - rounded) < 1e-9 &&
+        isPowerOfTwo(static_cast<uint64_t>(rounded))) {
+        cache::CacheConfig c = config;
+        c.lineBytes = static_cast<uint32_t>(rounded);
+        return oracle(c);
+    }
+
+    // Interpolate between the neighbouring powers of two via the AHH
+    // collision model (equation 4.12): M is modeled as a linear
+    // function of Coll, pinned to the simulated misses at both
+    // endpoints.
+    auto lower = static_cast<uint32_t>(
+        uint64_t{1} << log2Floor(static_cast<uint64_t>(contracted)));
+    uint32_t upper = lower * 2;
+
+    cache::CacheConfig cl = config;
+    cl.lineBytes = lower;
+    cache::CacheConfig cu = config;
+    cu.lineBytes = upper;
+
+    double m_l = oracle(cl);
+    double m_u = oracle(cu);
+    double coll_l = icacheCollisions(config.sets, config.assoc,
+                                     static_cast<double>(lower));
+    double coll_u = icacheCollisions(config.sets, config.assoc,
+                                     static_cast<double>(upper));
+    double coll_x = icacheCollisions(config.sets, config.assoc,
+                                     contracted);
+
+    double denom = coll_l - coll_u;
+    if (std::abs(denom) < 1e-12) {
+        // The model sees no collision difference between the two
+        // endpoint caches; fall back to log-linear interpolation in
+        // line size.
+        double t = (std::log2(contracted) - std::log2(lower));
+        return m_l + (m_u - m_l) * t;
+    }
+    double slope = (m_l - m_u) / denom;
+    double intercept = (m_u * coll_l - m_l * coll_u) / denom;
+    double estimate = slope * coll_x + intercept;
+    return std::max(estimate, 0.0);
+}
+
+double
+DilationModel::estimateUcacheMisses(const cache::CacheConfig &config,
+                                    double dilation,
+                                    double ref_misses) const
+{
+    config.validate();
+    fatalIf(dilation <= 0.0, "dilation must be positive");
+    fatalIf(ref_misses < 0.0, "negative reference misses");
+
+    // Equation 4.15: scale the simulated reference misses by the
+    // ratio of dilated to undilated collisions.
+    double coll_ref = ucacheCollisions(config, 1.0);
+    double coll_dil = ucacheCollisions(config, dilation);
+    return ahh::scaleMisses(ref_misses, coll_ref, coll_dil);
+}
+
+} // namespace pico::core

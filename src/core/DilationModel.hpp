@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The dilation model (section 4): estimating cache misses of an
+ * arbitrary VLIW processor from reference-trace simulations.
+ *
+ * Given the text dilation d of a target processor relative to the
+ * reference processor, the model estimates:
+ *
+ *  - data-cache misses: unchanged (assumption 1, equation 4.1);
+ *  - instruction-cache misses: misses of the same cache with its
+ *    line size contracted by d on the *undilated* reference trace
+ *    (Lemma 1, equation 4.10). When L/d is not a feasible
+ *    (power-of-two) line size, misses are interpolated between the
+ *    two neighbouring feasible line sizes using the AHH collision
+ *    model (equations 4.11–4.12);
+ *  - unified-cache misses: extrapolated from the reference-trace
+ *    misses by the ratio of collision counts computed with the
+ *    instruction component's line size contracted by d (equations
+ *    4.13–4.15).
+ */
+
+#ifndef PICO_CORE_DILATION_MODEL_HPP
+#define PICO_CORE_DILATION_MODEL_HPP
+
+#include <functional>
+
+#include "cache/CacheConfig.hpp"
+#include "core/TraceModel.hpp"
+
+namespace pico::core
+{
+
+/**
+ * Supplies simulated reference-trace misses for feasible caches.
+ * Typically backed by SinglePassSim results, one per line size.
+ */
+using MissOracle = std::function<double(const cache::CacheConfig &)>;
+
+/** Dilation-aware miss estimator for one application. */
+class DilationModel
+{
+  public:
+    /**
+     * @param instr parameters of the (pure) instruction trace
+     * @param unified_instr parameters of the instruction component
+     *        of the unified trace
+     * @param unified_data parameters of the data component of the
+     *        unified trace
+     */
+    DilationModel(ComponentParams instr, ComponentParams unified_instr,
+                  ComponentParams unified_data)
+        : iParams_(instr), uiParams_(unified_instr),
+          udParams_(unified_data)
+    {}
+
+    /**
+     * Estimate instruction-cache misses under dilation d.
+     * @param config the (feasible) instruction cache
+     * @param dilation text dilation d >= 1 (d == 1 returns the
+     *        oracle's value directly)
+     * @param oracle reference-trace misses for feasible caches
+     */
+    double estimateIcacheMisses(const cache::CacheConfig &config,
+                                double dilation,
+                                const MissOracle &oracle) const;
+
+    /**
+     * Estimate unified-cache misses under dilation d.
+     * @param config the (feasible) unified cache
+     * @param dilation text dilation d >= 1
+     * @param ref_misses simulated misses of config on the reference
+     *        unified trace
+     */
+    double estimateUcacheMisses(const cache::CacheConfig &config,
+                                double dilation,
+                                double ref_misses) const;
+
+    /**
+     * Estimate data-cache misses under dilation (equation 4.1: the
+     * data trace is assumed unchanged across processors).
+     */
+    static double
+    estimateDcacheMisses(double ref_misses)
+    {
+        return ref_misses;
+    }
+
+    /**
+     * Collisions of an instruction cache with a (possibly
+     * fractional) line size in bytes, per the instruction-trace
+     * parameters.
+     */
+    double icacheCollisions(uint32_t sets, uint32_t assoc,
+                            double line_bytes) const;
+
+    /**
+     * Collisions of the unified cache under dilation d (equations
+     * 4.13–4.14): u(L, d) = uD(L) + uI(L / d).
+     */
+    double ucacheCollisions(const cache::CacheConfig &config,
+                            double dilation) const;
+
+    const ComponentParams &instrParams() const { return iParams_; }
+    const ComponentParams &unifiedInstrParams() const { return uiParams_; }
+    const ComponentParams &unifiedDataParams() const { return udParams_; }
+
+    /** Smallest feasible line size in bytes (one word). */
+    static constexpr double minLineBytes = 4.0;
+
+  private:
+    ComponentParams iParams_;
+    ComponentParams uiParams_;
+    ComponentParams udParams_;
+};
+
+} // namespace pico::core
+
+#endif // PICO_CORE_DILATION_MODEL_HPP

@@ -1,0 +1,71 @@
+#include "core/TraceModel.hpp"
+
+#include <algorithm>
+
+namespace pico::core
+{
+
+double
+ComponentParams::p2() const
+{
+    if (lav <= 1.0)
+        return 0.0;
+    return (lav - (1.0 + p1)) / (lav - 1.0);
+}
+
+double
+ComponentParams::uLines(double lineWords) const
+{
+    fatalIf(lineWords <= 0.0, "line size must be positive");
+    // Closed form of equation 4.5 under equation 4.4; see header.
+    return u1 * (lineWords + lav - 1.0) / (lineWords * lav);
+}
+
+void
+GranuleAccumulator::closeGranule()
+{
+    if (buffer_.empty())
+        return;
+
+    std::sort(buffer_.begin(), buffer_.end());
+    buffer_.erase(std::unique(buffer_.begin(), buffer_.end()),
+                  buffer_.end());
+
+    // Walk the sorted unique words, splitting into runs of
+    // consecutive addresses.
+    uint64_t unique = buffer_.size();
+    uint64_t runs = 0;
+    uint64_t isolated = 0;
+    size_t i = 0;
+    while (i < buffer_.size()) {
+        size_t j = i + 1;
+        while (j < buffer_.size() && buffer_[j] == buffer_[j - 1] + 1)
+            ++j;
+        ++runs;
+        if (j - i == 1)
+            ++isolated;
+        i = j;
+    }
+
+    ++granules_;
+    sumUnique_ += static_cast<double>(unique);
+    sumIsolatedFraction_ += static_cast<double>(isolated) /
+                            static_cast<double>(unique);
+    sumRunLength_ += static_cast<double>(unique) /
+                     static_cast<double>(runs);
+    buffer_.clear();
+}
+
+ComponentParams
+GranuleAccumulator::params() const
+{
+    panicIf(granules_ == 0, "params() with no closed granules");
+    ComponentParams p;
+    auto n = static_cast<double>(granules_);
+    p.u1 = sumUnique_ / n;
+    p.p1 = sumIsolatedFraction_ / n;
+    p.lav = sumRunLength_ / n;
+    return p;
+}
+
+} // namespace pico::core

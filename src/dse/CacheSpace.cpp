@@ -1,0 +1,97 @@
+#include "dse/CacheSpace.hpp"
+
+#include <algorithm>
+
+#include "support/BitUtils.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::dse
+{
+
+std::vector<cache::CacheConfig>
+CacheSpace::enumerate() const
+{
+    std::vector<cache::CacheConfig> out;
+    for (auto size : sizesBytes) {
+        for (auto assoc : assocs) {
+            for (auto line : lineSizes) {
+                for (auto ports : portCounts) {
+                    uint64_t lines = size / line;
+                    if (lines == 0 || lines % assoc != 0)
+                        continue;
+                    uint64_t sets = lines / assoc;
+                    if (!isPowerOfTwo(sets))
+                        continue;
+                    cache::CacheConfig cfg;
+                    cfg.sets = static_cast<uint32_t>(sets);
+                    cfg.assoc = assoc;
+                    cfg.lineBytes = line;
+                    cfg.ports = ports;
+                    if (cfg.feasible())
+                        out.push_back(cfg);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+CacheSpace::distinctLineSizes() const
+{
+    std::vector<uint32_t> lines = lineSizes;
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+uint32_t
+CacheSpace::maxSets() const
+{
+    uint32_t best = 1;
+    for (const auto &cfg : enumerate())
+        best = std::max(best, cfg.sets);
+    return best;
+}
+
+uint32_t
+CacheSpace::minSets() const
+{
+    uint32_t best = ~0u;
+    auto all = enumerate();
+    fatalIf(all.empty(), "empty cache space");
+    for (const auto &cfg : all)
+        best = std::min(best, cfg.sets);
+    return best;
+}
+
+uint32_t
+CacheSpace::maxAssoc() const
+{
+    uint32_t best = 1;
+    for (auto a : assocs)
+        best = std::max(best, a);
+    return best;
+}
+
+CacheSpace
+CacheSpace::defaultL1Space()
+{
+    CacheSpace space;
+    space.sizesBytes = {1024, 2048, 4096, 8192, 16384, 32768};
+    space.assocs = {1, 2, 4};
+    space.lineSizes = {16, 32, 64};
+    return space;
+}
+
+CacheSpace
+CacheSpace::defaultL2Space()
+{
+    CacheSpace space;
+    space.sizesBytes = {16384, 32768, 65536, 131072, 262144};
+    space.assocs = {1, 2, 4, 8};
+    space.lineSizes = {32, 64, 128};
+    return space;
+}
+
+} // namespace pico::dse

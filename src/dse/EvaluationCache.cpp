@@ -1,0 +1,104 @@
+#include "dse/EvaluationCache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/Logging.hpp"
+
+namespace pico::dse
+{
+
+EvaluationCache::EvaluationCache(std::string path)
+    : path_(std::move(path))
+{
+    if (!path_.empty())
+        load();
+}
+
+EvaluationCache::~EvaluationCache()
+{
+    if (!path_.empty())
+        save();
+}
+
+std::vector<double>
+EvaluationCache::getOrCompute(
+    const std::string &key,
+    const std::function<std::vector<double>()> &compute)
+{
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    auto values = compute();
+    store(key, values);
+    return values;
+}
+
+bool
+EvaluationCache::lookup(const std::string &key,
+                        std::vector<double> &values) const
+{
+    auto it = table_.find(key);
+    if (it == table_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    values = it->second;
+    return true;
+}
+
+void
+EvaluationCache::store(const std::string &key,
+                       std::vector<double> values)
+{
+    fatalIf(key.find('|') != std::string::npos ||
+                key.find('\n') != std::string::npos,
+            "evaluation-cache key contains reserved characters");
+    table_[key] = std::move(values);
+}
+
+void
+EvaluationCache::save() const
+{
+    if (path_.empty())
+        return;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+        warn("cannot write evaluation cache '", path_, "'");
+        return;
+    }
+    out.precision(17);
+    for (const auto &[key, values] : table_) {
+        out << key << '|';
+        for (size_t i = 0; i < values.size(); ++i)
+            out << (i ? "," : "") << values[i];
+        out << '\n';
+    }
+}
+
+void
+EvaluationCache::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // first run; the file appears on save()
+    std::string line;
+    while (std::getline(in, line)) {
+        auto bar = line.find('|');
+        if (bar == std::string::npos)
+            continue;
+        std::string key = line.substr(0, bar);
+        std::vector<double> values;
+        std::stringstream ss(line.substr(bar + 1));
+        std::string item;
+        while (std::getline(ss, item, ','))
+            values.push_back(std::stod(item));
+        table_[key] = std::move(values);
+    }
+}
+
+} // namespace pico::dse

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Persistent evaluation cache (the paper's EvaluationCache layer).
+ *
+ * Design-space walks revisit the same (application, design) metrics
+ * constantly; results are memoized in memory and, when a path is
+ * given, persisted to a plain-text database so later runs skip the
+ * simulations entirely (section 5.1).
+ */
+
+#ifndef PICO_DSE_EVALUATION_CACHE_HPP
+#define PICO_DSE_EVALUATION_CACHE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pico::dse
+{
+
+/** Key/value store of metric vectors, optionally file backed. */
+class EvaluationCache
+{
+  public:
+    /**
+     * @param path database file; empty keeps the cache in memory
+     *        only. An existing file is loaded eagerly.
+     */
+    explicit EvaluationCache(std::string path = "");
+
+    /** Destructor persists the database when a path was given. */
+    ~EvaluationCache();
+
+    /**
+     * Fetch a metric vector, computing and storing it on a miss.
+     * @param key unique metric identifier (no '|' or newlines)
+     * @param compute evaluator invoked on a miss
+     */
+    std::vector<double> getOrCompute(
+        const std::string &key,
+        const std::function<std::vector<double>()> &compute);
+
+    /** Lookup without computing. @return true on hit. */
+    bool lookup(const std::string &key,
+                std::vector<double> &values) const;
+
+    /** Insert or overwrite an entry. */
+    void store(const std::string &key, std::vector<double> values);
+
+    /** Write the database to its file now (no-op when memory-only). */
+    void save() const;
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    size_t size() const { return table_.size(); }
+
+  private:
+    void load();
+
+    std::string path_;
+    std::unordered_map<std::string, std::vector<double>> table_;
+    mutable uint64_t hits_ = 0;
+    mutable uint64_t misses_ = 0;
+};
+
+} // namespace pico::dse
+
+#endif // PICO_DSE_EVALUATION_CACHE_HPP

@@ -1,0 +1,196 @@
+#include "dse/Evaluators.hpp"
+
+#include "support/Logging.hpp"
+
+namespace pico::dse
+{
+
+SimBank::SimBank(const CacheSpace &space)
+{
+    auto lines = space.distinctLineSizes();
+    fatalIf(lines.empty(), "cache space has no line sizes");
+    uint32_t max_line = lines.back();
+    uint32_t min_sets = space.minSets();
+    uint32_t max_sets = space.maxSets();
+    uint32_t max_assoc = space.maxAssoc();
+
+    // Cover every power-of-two line size down to one word so the
+    // dilation model can interpolate at any contracted line size.
+    for (uint32_t line = minCoveredLine; line <= max_line; line *= 2) {
+        sims_.emplace_back(line, min_sets, max_sets, max_assoc);
+    }
+}
+
+void
+SimBank::access(const trace::Access &a)
+{
+    for (auto &sim : sims_)
+        sim.access(a.addr);
+}
+
+bool
+SimBank::covers(const cache::CacheConfig &config) const
+{
+    for (const auto &sim : sims_) {
+        if (sim.covers(config))
+            return true;
+    }
+    return false;
+}
+
+double
+SimBank::misses(const cache::CacheConfig &config) const
+{
+    for (const auto &sim : sims_) {
+        if (sim.covers(config))
+            return static_cast<double>(sim.misses(config));
+    }
+    fatal("configuration ", config.name(),
+          " not covered by the simulation bank");
+}
+
+core::MissOracle
+SimBank::oracle() const
+{
+    return [this](const cache::CacheConfig &config) {
+        return misses(config);
+    };
+}
+
+// --- IcacheEvaluator ---------------------------------------------------
+
+IcacheEvaluator::IcacheEvaluator(CacheSpace space,
+                                 uint64_t granule_refs)
+    : space_(std::move(space)), granuleRefs_(granule_refs)
+{
+    bank_ = std::make_unique<SimBank>(space_);
+}
+
+void
+IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace)
+{
+    core::ItraceModeler modeler(granuleRefs_);
+    ref_instr_trace([this, &modeler](const trace::Access &a) {
+        fatalIf(!a.isInstr,
+                "data reference in an instruction trace");
+        bank_->access(a);
+        modeler.access(a);
+    });
+    params_ = modeler.params();
+    evaluated_ = true;
+}
+
+double
+IcacheEvaluator::misses(const cache::CacheConfig &config,
+                        double dilation) const
+{
+    fatalIf(!evaluated_, "evaluator has not seen a trace yet");
+    if (dilation == 1.0)
+        return bank_->misses(config);
+    core::DilationModel model(params_, params_, params_);
+    return model.estimateIcacheMisses(config, dilation,
+                                      bank_->oracle());
+}
+
+ParetoSet
+IcacheEvaluator::pareto(double dilation, double miss_penalty) const
+{
+    ParetoSet set;
+    for (const auto &config : space_.enumerate()) {
+        DesignPoint point;
+        point.id = "I$" + config.name();
+        point.cost = config.areaCost();
+        point.time = misses(config, dilation) * miss_penalty;
+        set.insertPoint(point);
+    }
+    return set;
+}
+
+// --- DcacheEvaluator ---------------------------------------------------
+
+DcacheEvaluator::DcacheEvaluator(CacheSpace space)
+    : space_(std::move(space))
+{
+    bank_ = std::make_unique<SimBank>(space_);
+}
+
+void
+DcacheEvaluator::evaluate(const TraceSource &ref_data_trace)
+{
+    ref_data_trace([this](const trace::Access &a) {
+        fatalIf(a.isInstr, "instruction reference in a data trace");
+        bank_->access(a);
+    });
+    evaluated_ = true;
+}
+
+double
+DcacheEvaluator::misses(const cache::CacheConfig &config) const
+{
+    fatalIf(!evaluated_, "evaluator has not seen a trace yet");
+    return bank_->misses(config);
+}
+
+ParetoSet
+DcacheEvaluator::pareto(double miss_penalty) const
+{
+    ParetoSet set;
+    for (const auto &config : space_.enumerate()) {
+        DesignPoint point;
+        point.id = "D$" + config.name();
+        point.cost = config.areaCost();
+        point.time = misses(config) * miss_penalty;
+        set.insertPoint(point);
+    }
+    return set;
+}
+
+// --- UcacheEvaluator ---------------------------------------------------
+
+UcacheEvaluator::UcacheEvaluator(CacheSpace space,
+                                 uint64_t granule_refs)
+    : space_(std::move(space)), granuleRefs_(granule_refs)
+{
+    bank_ = std::make_unique<SimBank>(space_);
+}
+
+void
+UcacheEvaluator::evaluate(const TraceSource &ref_unified_trace)
+{
+    core::UtraceModeler modeler(granuleRefs_);
+    ref_unified_trace([this, &modeler](const trace::Access &a) {
+        bank_->access(a);
+        modeler.access(a);
+    });
+    iParams_ = modeler.instrParams();
+    dParams_ = modeler.dataParams();
+    evaluated_ = true;
+}
+
+double
+UcacheEvaluator::misses(const cache::CacheConfig &config,
+                        double dilation) const
+{
+    fatalIf(!evaluated_, "evaluator has not seen a trace yet");
+    double ref_misses = bank_->misses(config);
+    if (dilation == 1.0)
+        return ref_misses;
+    core::DilationModel model(iParams_, iParams_, dParams_);
+    return model.estimateUcacheMisses(config, dilation, ref_misses);
+}
+
+ParetoSet
+UcacheEvaluator::pareto(double dilation, double miss_penalty) const
+{
+    ParetoSet set;
+    for (const auto &config : space_.enumerate()) {
+        DesignPoint point;
+        point.id = "U$" + config.name();
+        point.cost = config.areaCost();
+        point.time = misses(config, dilation) * miss_penalty;
+        set.insertPoint(point);
+    }
+    return set;
+}
+
+} // namespace pico::dse

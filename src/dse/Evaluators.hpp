@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cache-subsystem evaluators: single-pass simulation banks plus the
+ * dilation-model estimators, one evaluator per cache type.
+ *
+ * Each evaluator consumes the *reference processor's* trace exactly
+ * once (one Cheetah-style pass per distinct line size plus the trace
+ * modeler), after which the misses of any configuration in the space
+ * at any dilation are available without further simulation — the
+ * paper's central efficiency claim.
+ */
+
+#ifndef PICO_DSE_EVALUATORS_HPP
+#define PICO_DSE_EVALUATORS_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/SinglePassSim.hpp"
+#include "core/DilationModel.hpp"
+#include "core/TraceModel.hpp"
+#include "dse/CacheSpace.hpp"
+#include "dse/Pareto.hpp"
+
+namespace pico::dse
+{
+
+/**
+ * A type-erased address-trace producer: invoked with a sink, it
+ * streams every Access of the trace into it.
+ */
+using TraceSink = std::function<void(const trace::Access &)>;
+using TraceSource = std::function<void(const TraceSink &)>;
+
+/**
+ * Bank of single-pass simulators covering every power-of-two line
+ * size from minCoveredLine up to the space's largest line, so the
+ * dilation model can interpolate at contracted line sizes.
+ */
+class SimBank
+{
+  public:
+    /** Smallest line size simulated (one word). */
+    static constexpr uint32_t minCoveredLine = 4;
+
+    explicit SimBank(const CacheSpace &space);
+
+    /** Feed one reference to every line-size simulator. */
+    void access(const trace::Access &a);
+
+    /** Simulated reference-trace misses of a covered config. */
+    double misses(const cache::CacheConfig &config) const;
+
+    /** True when the configuration is covered. */
+    bool covers(const cache::CacheConfig &config) const;
+
+    /** Number of independent single-pass simulations (line sizes). */
+    size_t simRuns() const { return sims_.size(); }
+
+    uint64_t
+    accesses() const
+    {
+        return sims_.empty() ? 0 : sims_.front().accesses();
+    }
+
+    /** Oracle adapter for the dilation model. */
+    core::MissOracle oracle() const;
+
+  private:
+    std::vector<cache::SinglePassSim> sims_;
+};
+
+/** Instruction-cache evaluator (simulation + dilation model). */
+class IcacheEvaluator
+{
+  public:
+    explicit IcacheEvaluator(CacheSpace space,
+                             uint64_t granule_refs =
+                                 core::defaultIGranule);
+
+    /** One pass over the reference instruction trace. */
+    void evaluate(const TraceSource &ref_instr_trace);
+
+    /**
+     * Misses of a configuration at a dilation; dilation 1 returns
+     * the simulated count exactly.
+     */
+    double misses(const cache::CacheConfig &config,
+                  double dilation) const;
+
+    /** Pareto set over the space at one dilation; time is misses
+     *  weighted by the L1-miss penalty. */
+    ParetoSet pareto(double dilation, double miss_penalty) const;
+
+    const core::ComponentParams &params() const { return params_; }
+    const CacheSpace &space() const { return space_; }
+    const SimBank &bank() const { return *bank_; }
+    bool evaluated() const { return evaluated_; }
+
+  private:
+    CacheSpace space_;
+    uint64_t granuleRefs_;
+    std::unique_ptr<SimBank> bank_;
+    core::ComponentParams params_;
+    bool evaluated_ = false;
+};
+
+/** Data-cache evaluator (simulation only; equation 4.1). */
+class DcacheEvaluator
+{
+  public:
+    explicit DcacheEvaluator(CacheSpace space);
+
+    /** One pass over the reference data trace. */
+    void evaluate(const TraceSource &ref_data_trace);
+
+    /** Misses of a configuration (dilation independent). */
+    double misses(const cache::CacheConfig &config) const;
+
+    ParetoSet pareto(double miss_penalty) const;
+
+    const CacheSpace &space() const { return space_; }
+    bool evaluated() const { return evaluated_; }
+
+  private:
+    CacheSpace space_;
+    std::unique_ptr<SimBank> bank_;
+    bool evaluated_ = false;
+};
+
+/** Unified-cache evaluator (simulation + equations 4.13–4.15). */
+class UcacheEvaluator
+{
+  public:
+    explicit UcacheEvaluator(CacheSpace space,
+                             uint64_t granule_refs =
+                                 core::defaultUGranule);
+
+    /** One pass over the reference unified trace. */
+    void evaluate(const TraceSource &ref_unified_trace);
+
+    double misses(const cache::CacheConfig &config,
+                  double dilation) const;
+
+    ParetoSet pareto(double dilation, double miss_penalty) const;
+
+    const core::ComponentParams &instrParams() const { return iParams_; }
+    const core::ComponentParams &dataParams() const { return dParams_; }
+    const CacheSpace &space() const { return space_; }
+    bool evaluated() const { return evaluated_; }
+
+  private:
+    CacheSpace space_;
+    uint64_t granuleRefs_;
+    std::unique_ptr<SimBank> bank_;
+    core::ComponentParams iParams_;
+    core::ComponentParams dParams_;
+    bool evaluated_ = false;
+};
+
+} // namespace pico::dse
+
+#endif // PICO_DSE_EVALUATORS_HPP

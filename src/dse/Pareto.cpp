@@ -1,0 +1,40 @@
+#include "dse/Pareto.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pico::dse
+{
+
+bool
+ParetoSet::insertPoint(const DesignPoint &point)
+{
+    ++offered_;
+    for (const auto &existing : points_) {
+        if (existing.dominates(point))
+            return false;
+    }
+    // Remove members the new point dominates, then insert it.
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&point](const DesignPoint &p) {
+                                     return point.dominates(p);
+                                 }),
+                  points_.end());
+    points_.push_back(point);
+    return true;
+}
+
+std::vector<DesignPoint>
+ParetoSet::sorted() const
+{
+    std::vector<DesignPoint> out = points_;
+    std::sort(out.begin(), out.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  if (a.cost != b.cost)
+                      return a.cost < b.cost;
+                  return a.time < b.time;
+              });
+    return out;
+}
+
+} // namespace pico::dse

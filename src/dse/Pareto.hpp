@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pareto-set accumulation for cost/performance design points.
+ *
+ * A design is kept when no other design has lower-or-equal cost and
+ * lower-or-equal time with at least one strict improvement (the
+ * paper's definition of cost-performance optimality, section 1).
+ */
+
+#ifndef PICO_DSE_PARETO_HPP
+#define PICO_DSE_PARETO_HPP
+
+#include <string>
+#include <vector>
+
+namespace pico::dse
+{
+
+/** One candidate design: identifier, silicon cost, execution time. */
+struct DesignPoint
+{
+    std::string id;
+    double cost = 0.0;
+    /** Execution time or any lower-is-better performance metric. */
+    double time = 0.0;
+
+    /** True when this point dominates the other (<= both, < one). */
+    bool
+    dominates(const DesignPoint &other) const
+    {
+        return cost <= other.cost && time <= other.time &&
+               (cost < other.cost || time < other.time);
+    }
+};
+
+/** Cumulative Pareto set (the paper's Pareto layer, section 5.1). */
+class ParetoSet
+{
+  public:
+    /**
+     * Offer one design. Dominated offers are discarded; accepted
+     * offers evict members they dominate.
+     * @return true when the design was inserted
+     */
+    bool insertPoint(const DesignPoint &point);
+
+    /** Members sorted by ascending cost. */
+    std::vector<DesignPoint> sorted() const;
+
+    const std::vector<DesignPoint> &points() const { return points_; }
+    size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /** Total designs offered, including rejected ones. */
+    uint64_t offered() const { return offered_; }
+
+  private:
+    std::vector<DesignPoint> points_;
+    uint64_t offered_ = 0;
+};
+
+} // namespace pico::dse
+
+#endif // PICO_DSE_PARETO_HPP

@@ -1,0 +1,250 @@
+#include "dse/Spacewalker.hpp"
+
+#include "compiler/Scheduler.hpp"
+#include "support/Logging.hpp"
+#include "trace/TraceGenerator.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico::dse
+{
+
+MemoryWalker::MemoryWalker(MemorySpaces spaces, StallModel stalls,
+                           uint64_t i_granule, uint64_t u_granule)
+    : spaces_(spaces), stalls_(stalls),
+      icacheEval_(spaces.icache, i_granule),
+      dcacheEval_(spaces.dcache),
+      ucacheEval_(spaces.ucache, u_granule)
+{}
+
+void
+MemoryWalker::evaluate(const TraceSource &instr_trace,
+                       const TraceSource &data_trace,
+                       const TraceSource &unified_trace)
+{
+    icacheEval_.evaluate(instr_trace);
+    dcacheEval_.evaluate(data_trace);
+    ucacheEval_.evaluate(unified_trace);
+}
+
+double
+MemoryWalker::stallCycles(const cache::CacheConfig &icache,
+                          const cache::CacheConfig &dcache,
+                          const cache::CacheConfig &ucache,
+                          double dilation) const
+{
+    return icacheEval_.misses(icache, dilation) * stalls_.l2HitLatency +
+           dcacheEval_.misses(dcache) * stalls_.l2HitLatency +
+           ucacheEval_.misses(ucache, dilation) *
+               stalls_.memoryLatency;
+}
+
+ParetoSet
+MemoryWalker::pareto(double dilation, uint32_t dcache_ports) const
+{
+    // Subsystem Pareto fronts first: with additive cost and additive
+    // stall time, any hierarchy containing a dominated component is
+    // itself dominated, so the product of the subsystem fronts
+    // covers the full hierarchy Pareto set.
+    struct Candidate
+    {
+        cache::CacheConfig cfg;
+        std::string id;
+        double cost;
+        double time;
+    };
+    auto front = [](std::vector<Candidate> cands) {
+        std::vector<Candidate> kept;
+        for (const auto &c : cands) {
+            bool dominated = false;
+            for (const auto &other : cands) {
+                DesignPoint a{other.id, other.cost, other.time};
+                DesignPoint b{c.id, c.cost, c.time};
+                if (a.dominates(b)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (!dominated)
+                kept.push_back(c);
+        }
+        return kept;
+    };
+
+    std::vector<Candidate> i_cands, d_cands, u_cands;
+    for (const auto &cfg : spaces_.icache.enumerate()) {
+        i_cands.push_back({cfg, "I$" + cfg.name(), cfg.areaCost(),
+                           icacheEval_.misses(cfg, dilation) *
+                               stalls_.l2HitLatency});
+    }
+    for (const auto &cfg : spaces_.dcache.enumerate()) {
+        if (dcache_ports != 0 && cfg.ports != dcache_ports)
+            continue;
+        d_cands.push_back({cfg, "D$" + cfg.name(), cfg.areaCost(),
+                           dcacheEval_.misses(cfg) *
+                               stalls_.l2HitLatency});
+    }
+    for (const auto &cfg : spaces_.ucache.enumerate()) {
+        u_cands.push_back({cfg, "U$" + cfg.name(), cfg.areaCost(),
+                           ucacheEval_.misses(cfg, dilation) *
+                               stalls_.memoryLatency});
+    }
+
+    ParetoSet out;
+    for (const auto &ic : front(i_cands)) {
+        for (const auto &dc : front(d_cands)) {
+            for (const auto &uc : front(u_cands)) {
+                // Inclusion requirement (section 3.1).
+                if (uc.cfg.sizeBytes() < ic.cfg.sizeBytes() ||
+                    uc.cfg.sizeBytes() < dc.cfg.sizeBytes() ||
+                    uc.cfg.lineBytes < ic.cfg.lineBytes ||
+                    uc.cfg.lineBytes < dc.cfg.lineBytes) {
+                    continue;
+                }
+                DesignPoint point;
+                point.id = ic.id + "+" + dc.id + "+" + uc.id;
+                point.cost = ic.cost + dc.cost + uc.cost;
+                point.time = ic.time + dc.time + uc.time;
+                out.insertPoint(point);
+            }
+        }
+    }
+    return out;
+}
+
+Spacewalker::Spacewalker(MemorySpaces spaces,
+                         std::vector<std::string> machine_names,
+                         Options options)
+    : spaces_(spaces), machineNames_(std::move(machine_names)),
+      options_(options), cache_(options.evaluationCachePath)
+{
+    fatalIf(machineNames_.empty(), "no machines to explore");
+}
+
+const MemoryWalker &
+Spacewalker::memoryWalker() const
+{
+    fatalIf(!memory_, "explore() has not run yet");
+    return *memory_;
+}
+
+namespace
+{
+
+/** Reference-processor state shared by one trace-equivalence class. */
+struct ClassContext
+{
+    ir::Program prog;
+    workloads::MachineBuild refBuild;
+    std::unique_ptr<MemoryWalker> memory;
+};
+
+} // namespace
+
+ExplorationResult
+Spacewalker::explore(const ir::Program &prog)
+{
+    using machine::MachineDesc;
+
+    // One reference processor (and one set of reference-trace
+    // simulations) per trace-equivalence class: the paper prescribes
+    // a separate Pref for each predication/speculation combination.
+    std::map<bool, std::unique_ptr<ClassContext>> classes;
+    auto classFor = [&](const MachineDesc &mdes) -> ClassContext & {
+        bool predicated = mdes.predRegs > 0;
+        auto it = classes.find(predicated);
+        if (it != classes.end())
+            return *it->second;
+
+        std::string ref_name = options_.referenceMachine;
+        if (predicated && ref_name.back() != 'p')
+            ref_name += 'p';
+        auto ref_mdes = MachineDesc::fromName(ref_name);
+
+        auto ctx = std::make_unique<ClassContext>();
+        ctx->prog = workloads::programForClass(prog, ref_mdes,
+                                               options_.traceBlocks);
+        ctx->refBuild = workloads::buildFor(ctx->prog, ref_mdes);
+        ctx->memory = std::make_unique<MemoryWalker>(
+            spaces_, options_.stalls, options_.iGranule,
+            options_.uGranule);
+        trace::TraceGenerator gen(ctx->prog, ctx->refBuild.sched,
+                                  ctx->refBuild.bin);
+        uint64_t blocks = options_.traceBlocks;
+        auto source = [&gen, blocks](trace::TraceKind kind) {
+            return TraceSource([&gen, kind,
+                                blocks](const TraceSink &sink) {
+                gen.generate(kind, sink, blocks);
+            });
+        };
+        ctx->memory->evaluate(source(trace::TraceKind::Instruction),
+                              source(trace::TraceKind::Data),
+                              source(trace::TraceKind::Unified));
+        return *classes.emplace(predicated, std::move(ctx))
+                    .first->second;
+    };
+
+    ExplorationResult result;
+    for (const auto &name : machineNames_) {
+        auto mdes = MachineDesc::fromName(name);
+        auto &cls = classFor(mdes);
+
+        // Per-machine metrics flow through the EvaluationCache
+        // (section 5.1): a hit skips the whole compile/assemble/
+        // link of this machine.
+        std::string key = "proc;" + prog.name + ";s" +
+                          std::to_string(prog.seed) + ";" + name;
+        for (uint32_t ports : spaces_.dcache.portCounts)
+            key += ";p" + std::to_string(ports);
+        auto metrics = cache_.getOrCompute(key, [&]() {
+            auto build = workloads::buildFor(cls.prog, mdes);
+            std::vector<double> v;
+            v.push_back(linker::textDilation(build.bin,
+                                             cls.refBuild.bin));
+            v.push_back(
+                static_cast<double>(build.processorCycles));
+            for (uint32_t ports : spaces_.dcache.portCounts) {
+                v.push_back(static_cast<double>(
+                    compiler::Scheduler::processorCycles(
+                        cls.prog, build.sched, ports)));
+            }
+            return v;
+        });
+
+        double dilation = metrics[0];
+        result.dilations[name] = dilation;
+        result.processorCycles[name] =
+            static_cast<uint64_t>(metrics[1]);
+
+        DesignPoint proc;
+        proc.id = "P" + name;
+        proc.cost = mdes.cost();
+        proc.time = metrics[1];
+        result.processors.insertPoint(proc);
+
+        // Compose systems per data-cache port constraint: ports
+        // couple the cache to the processor's memory issue rate.
+        for (size_t pi = 0; pi < spaces_.dcache.portCounts.size();
+             ++pi) {
+            uint32_t ports = spaces_.dcache.portCounts[pi];
+            double cycles = metrics[2 + pi];
+            ParetoSet mem = cls.memory->pareto(dilation, ports);
+            for (const auto &hierarchy : mem.points()) {
+                DesignPoint sys;
+                sys.id = proc.id + "+" + hierarchy.id;
+                sys.cost = proc.cost + hierarchy.cost;
+                sys.time = cycles + hierarchy.time;
+                result.systems.insertPoint(sys);
+            }
+        }
+    }
+
+    // Keep the base class's walker accessible for callers that want
+    // to inspect the memory design space after exploration.
+    auto base = classes.find(false);
+    if (base == classes.end())
+        base = classes.begin();
+    memory_ = std::move(base->second->memory);
+    return result;
+}
+
+} // namespace pico::dse

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Memory walker and system spacewalker (paper sections 3.2 and 5).
+ *
+ * The MemoryWalker owns the three cache-subsystem evaluators and
+ * composes inclusion-feasible hierarchies; thanks to the additive
+ * stall model, the hierarchy Pareto set is built from the product of
+ * the subsystem Pareto sets.
+ *
+ * The Spacewalker drives the whole exploration for one application:
+ * it compiles the program for every machine in the processor space,
+ * measures each machine's text dilation against the reference
+ * processor, simulates the caches *once* on the reference traces,
+ * and produces processor, memory and complete-system Pareto sets.
+ */
+
+#ifndef PICO_DSE_SPACEWALKER_HPP
+#define PICO_DSE_SPACEWALKER_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/EvaluationCache.hpp"
+#include "dse/Evaluators.hpp"
+#include "dse/Pareto.hpp"
+#include "ir/Program.hpp"
+#include "machine/MachineDesc.hpp"
+
+namespace pico::dse
+{
+
+/** The three cache subspaces of a memory-hierarchy exploration. */
+struct MemorySpaces
+{
+    CacheSpace icache = CacheSpace::defaultL1Space();
+    CacheSpace dcache = CacheSpace::defaultL1Space();
+    CacheSpace ucache = CacheSpace::defaultL2Space();
+};
+
+/** Latency parameters of the additive stall model. */
+struct StallModel
+{
+    double l2HitLatency = 10.0;
+    double memoryLatency = 80.0;
+};
+
+/** Walks the memory design space for one reference trace set. */
+class MemoryWalker
+{
+  public:
+    MemoryWalker(MemorySpaces spaces, StallModel stalls,
+                 uint64_t i_granule = core::defaultIGranule,
+                 uint64_t u_granule = core::defaultUGranule);
+
+    /**
+     * Evaluate all three subsystems from reference traces, one pass
+     * each.
+     */
+    void evaluate(const TraceSource &instr_trace,
+                  const TraceSource &data_trace,
+                  const TraceSource &unified_trace);
+
+    /** Stall cycles of one hierarchy at one dilation. */
+    double stallCycles(const cache::CacheConfig &icache,
+                       const cache::CacheConfig &dcache,
+                       const cache::CacheConfig &ucache,
+                       double dilation) const;
+
+    /**
+     * Pareto set of hierarchies at one dilation: cost is the summed
+     * cache area, time the summed stall cycles. Built from the
+     * product of subsystem Pareto sets (valid because both metrics
+     * are additive), filtered for inclusion feasibility.
+     *
+     * @param dilation text dilation of the processor under study
+     * @param dcache_ports restrict data caches to this port count
+     *        (0 = no restriction); the paper's Pareto sets are
+     *        parameterized by cache port constraints
+     */
+    ParetoSet pareto(double dilation,
+                     uint32_t dcache_ports = 0) const;
+
+    const IcacheEvaluator &icache() const { return icacheEval_; }
+    const DcacheEvaluator &dcache() const { return dcacheEval_; }
+    const UcacheEvaluator &ucache() const { return ucacheEval_; }
+    const StallModel &stalls() const { return stalls_; }
+
+  private:
+    MemorySpaces spaces_;
+    StallModel stalls_;
+    IcacheEvaluator icacheEval_;
+    DcacheEvaluator dcacheEval_;
+    UcacheEvaluator ucacheEval_;
+};
+
+/** Result bundle of a full system exploration. */
+struct ExplorationResult
+{
+    ParetoSet processors;
+    ParetoSet systems;
+    /** Text dilation per machine name. */
+    std::map<std::string, double> dilations;
+    /** Processor cycles per machine name. */
+    std::map<std::string, uint64_t> processorCycles;
+};
+
+/** Exploration driver for one application. */
+class Spacewalker
+{
+  public:
+    struct Options
+    {
+        /** Block-entry budget for reference-trace generation. */
+        uint64_t traceBlocks = 60000;
+        StallModel stalls;
+        /** Reference machine (paper: the narrow 1111). */
+        std::string referenceMachine = "1111";
+        /** AHH granule sizes (references per granule). */
+        uint64_t iGranule = core::defaultIGranule;
+        uint64_t uGranule = 100000;
+        /**
+         * Path of the persistent evaluation-cache database; empty
+         * keeps per-machine metrics (dilation, cycles) in memory
+         * only. With a path, repeated explorations skip the
+         * compile/assemble/link of machines already evaluated — the
+         * paper's EvaluationCache layer (section 5.1).
+         */
+        std::string evaluationCachePath;
+    };
+
+    Spacewalker(MemorySpaces spaces,
+                std::vector<std::string> machine_names,
+                Options options);
+
+    /** Default-options overload. */
+    Spacewalker(MemorySpaces spaces,
+                std::vector<std::string> machine_names)
+        : Spacewalker(std::move(spaces), std::move(machine_names),
+                      Options())
+    {}
+
+    /**
+     * Explore processors x memory hierarchies for one profiled
+     * program.
+     */
+    ExplorationResult explore(const ir::Program &prog);
+
+    /** The memory walker of the last exploration. */
+    const MemoryWalker &memoryWalker() const;
+
+    /** The evaluation cache (hit/miss statistics, persistence). */
+    const EvaluationCache &evaluationCache() const { return cache_; }
+
+  private:
+    MemorySpaces spaces_;
+    std::vector<std::string> machineNames_;
+    Options options_;
+    std::unique_ptr<MemoryWalker> memory_;
+    EvaluationCache cache_;
+};
+
+} // namespace pico::dse
+
+#endif // PICO_DSE_SPACEWALKER_HPP

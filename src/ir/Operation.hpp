@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine-independent operation representation.
+ *
+ * Operations are the atoms of the IR: each belongs to a functional-unit
+ * class, may reference a data stream (loads/stores), and carries its
+ * intra-block dependences so the scheduler can extract ILP.
+ */
+
+#ifndef PICO_IR_OPERATION_HPP
+#define PICO_IR_OPERATION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pico::ir
+{
+
+/** Functional-unit class an operation executes on. */
+enum class OpClass : uint8_t
+{
+    IntAlu,   ///< integer ALU operation
+    FloatAlu, ///< floating-point operation
+    Memory,   ///< load or store
+    Branch,   ///< control transfer
+};
+
+/** Memory behavior of an operation. */
+enum class MemKind : uint8_t
+{
+    None,  ///< not a memory operation
+    Load,  ///< reads one word from a data stream
+    Store, ///< writes one word to a data stream
+};
+
+/** Printable name of an OpClass. */
+const char *toString(OpClass cls);
+
+/**
+ * One machine-independent operation.
+ *
+ * @note deps holds indices of earlier operations in the same basic
+ *       block that must complete before this operation issues.
+ */
+struct Operation
+{
+    OpClass opClass = OpClass::IntAlu;
+    MemKind memKind = MemKind::None;
+    /** Data stream accessed when memKind != None. */
+    uint16_t streamId = 0;
+    /** Result latency in cycles (>= 1). */
+    uint8_t latency = 1;
+    /** Load that the compiler may hoist speculatively. */
+    bool speculable = false;
+    /**
+     * Operation guarded by a predicate register (set by hyperblock
+     * formation). Predicated operations always occupy issue slots
+     * and fetch bandwidth; memory operations still emit their data
+     * reference (conservative nullified-store model).
+     */
+    bool predicated = false;
+    /** Indices of in-block operations this one depends on. */
+    std::vector<uint16_t> deps;
+
+    bool isLoad() const { return memKind == MemKind::Load; }
+    bool isStore() const { return memKind == MemKind::Store; }
+    bool isMem() const { return memKind != MemKind::None; }
+    bool isBranch() const { return opClass == OpClass::Branch; }
+};
+
+} // namespace pico::ir
+
+#endif // PICO_IR_OPERATION_HPP

@@ -1,0 +1,127 @@
+#include "ir/Program.hpp"
+
+#include <cmath>
+
+#include "support/BitUtils.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::ir
+{
+
+const char *
+toString(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return "int";
+      case OpClass::FloatAlu:
+        return "float";
+      case OpClass::Memory:
+        return "mem";
+      case OpClass::Branch:
+        return "branch";
+    }
+    return "?";
+}
+
+void
+Program::finalize()
+{
+    fatalIf(functions.empty(), "program '", name, "' has no functions");
+    fatalIf(entryFunction >= functions.size(),
+            "entry function out of range");
+
+    // Assign stream base addresses, each region aligned to 4 KB so
+    // distinct streams never share a cache line.
+    uint64_t cursor = dataBase;
+    for (size_t i = 0; i < streams.size(); ++i) {
+        auto &s = streams[i];
+        fatalIf(s.sizeWords == 0, "stream of size 0 in '", name, "'");
+        s.id = static_cast<uint16_t>(i);
+        s.baseAddr = cursor;
+        cursor = alignUp(cursor + s.sizeWords * 4, 4096);
+    }
+
+    for (size_t fi = 0; fi < functions.size(); ++fi) {
+        auto &func = functions[fi];
+        func.id = static_cast<uint32_t>(fi);
+        fatalIf(func.blocks.empty(),
+                "function '", func.name, "' has no blocks");
+        for (size_t bi = 0; bi < func.blocks.size(); ++bi) {
+            auto &block = func.blocks[bi];
+            block.id = static_cast<uint32_t>(bi);
+            fatalIf(block.ops.empty(),
+                    "empty basic block in '", func.name, "'");
+
+            // Validate ops.
+            for (size_t oi = 0; oi < block.ops.size(); ++oi) {
+                const auto &op = block.ops[oi];
+                fatalIf(op.isMem() && op.streamId >= streams.size(),
+                        "op references unknown stream");
+                fatalIf(op.isMem() && op.opClass != OpClass::Memory,
+                        "memory op with non-memory class");
+                for (auto dep : op.deps) {
+                    fatalIf(dep >= oi,
+                            "dependence on a later op in block");
+                }
+            }
+
+            // Validate edges; probabilities must sum to ~1 when any
+            // edge exists.
+            if (!block.succs.empty()) {
+                double total = 0.0;
+                for (const auto &edge : block.succs) {
+                    fatalIf(edge.target >= func.blocks.size(),
+                            "edge target out of range");
+                    fatalIf(edge.prob < 0.0 || edge.prob > 1.0,
+                            "edge probability out of [0,1]");
+                    total += edge.prob;
+                }
+                fatalIf(std::abs(total - 1.0) > 1e-6,
+                        "edge probabilities of block ", bi, " in '",
+                        func.name, "' sum to ", total);
+            }
+            fatalIf(block.callee >= 0 &&
+                    static_cast<size_t>(block.callee) >= functions.size(),
+                    "callee out of range");
+            fatalIf(block.indirectCall && block.callee >= 0,
+                    "block has both direct and indirect call");
+            fatalIf(block.indirectCall &&
+                    fi + 1 >= functions.size(),
+                    "indirect call with no higher-numbered callees");
+        }
+
+        // Mark branch targets: every block that is the target of a
+        // non-fall-through edge (any edge whose target is not the
+        // next sequential block), plus every function entry.
+        func.blocks[0].isBranchTarget = true;
+        for (const auto &block : func.blocks) {
+            for (const auto &edge : block.succs) {
+                if (edge.target != block.id + 1)
+                    func.blocks[edge.target].isBranchTarget = true;
+            }
+        }
+    }
+    finalized_ = true;
+}
+
+uint64_t
+Program::totalOperations() const
+{
+    uint64_t n = 0;
+    for (const auto &func : functions)
+        for (const auto &block : func.blocks)
+            n += block.ops.size();
+    return n;
+}
+
+uint64_t
+Program::totalBlocks() const
+{
+    uint64_t n = 0;
+    for (const auto &func : functions)
+        n += func.blocks.size();
+    return n;
+}
+
+} // namespace pico::ir

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Whole-program IR: functions of basic blocks plus data streams.
+ *
+ * The IR is deliberately machine independent: the same Program is
+ * compiled for every VLIW machine in the design space, which is what
+ * makes the paper's assumption 1 (identical basic-block traces across
+ * processors) hold by construction.
+ */
+
+#ifndef PICO_IR_PROGRAM_HPP
+#define PICO_IR_PROGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/Operation.hpp"
+
+namespace pico::ir
+{
+
+/** Control-flow edge with a profile-derived probability. */
+struct Edge
+{
+    /** Target block index within the same function. */
+    uint32_t target = 0;
+    /** Probability this edge is taken on block exit. */
+    double prob = 1.0;
+};
+
+/**
+ * A basic block: straight-line operations plus outgoing edges.
+ *
+ * An empty successor list means the block returns from its function.
+ * A non-negative callee indicates a call made at the end of the block,
+ * before the outgoing edge is followed.
+ */
+struct BasicBlock
+{
+    /** Index of this block within its function. */
+    uint32_t id = 0;
+    std::vector<Operation> ops;
+    std::vector<Edge> succs;
+    /** Function called at block end, or -1 for none. */
+    int32_t callee = -1;
+    /**
+     * Indirect (function-pointer) call: the callee is chosen at run
+     * time, uniformly among higher-numbered functions. Models the
+     * dispatch loops of compiler/interpreter-class programs; the
+     * choice comes from the engine's seeded Rng, so traces remain
+     * reproducible and machine independent.
+     */
+    bool indirectCall = false;
+    /** Dynamic entry count, filled in by a profiling run. */
+    uint64_t profileCount = 0;
+    /** True when some branch targets this block (set by finalize()). */
+    bool isBranchTarget = false;
+};
+
+/** A function: blocks indexed by id; block 0 is the entry. */
+struct Function
+{
+    uint32_t id = 0;
+    std::string name;
+    std::vector<BasicBlock> blocks;
+    /** Dynamic call count, filled in by a profiling run. */
+    uint64_t callCount = 0;
+};
+
+/** Access pattern a data stream generates. */
+enum class AccessPattern : uint8_t
+{
+    Sequential, ///< advancing cursor, wraps at the region end
+    Strided,    ///< advancing by a fixed element stride
+    Random,     ///< uniformly random element within the region
+    Zipf,       ///< skewed reuse of hot elements
+    Stack,      ///< small, hot region near the top of a stack
+};
+
+/**
+ * A data region accessed by memory operations. Word addresses are
+ * assigned when the Program is finalized.
+ */
+struct DataStream
+{
+    uint16_t id = 0;
+    AccessPattern pattern = AccessPattern::Sequential;
+    /** Region size in 4-byte words. */
+    uint64_t sizeWords = 1024;
+    /** Element stride in words (Strided only). */
+    uint32_t strideWords = 1;
+    /** Zipf exponent (Zipf only). */
+    double zipfExponent = 1.1;
+    /** Assigned base byte address (set by Program::finalize). */
+    uint64_t baseAddr = 0;
+};
+
+/**
+ * A whole application: functions, data streams, and the entry point.
+ */
+class Program
+{
+  public:
+    std::string name;
+    /** Seed for the execution engine's stochastic behavior. */
+    uint64_t seed = 1;
+    std::vector<Function> functions;
+    std::vector<DataStream> streams;
+    /** Entry function index. */
+    uint32_t entryFunction = 0;
+
+    /** Base byte address of the data segment. */
+    static constexpr uint64_t dataBase = 0x40000000ULL;
+
+    /**
+     * Validate the program and assign derived fields: stream base
+     * addresses, branch-target flags, and edge-probability checks.
+     * Must be called once after construction and before use.
+     */
+    void finalize();
+
+    /** Total static operation count over all blocks. */
+    uint64_t totalOperations() const;
+
+    /** Total number of basic blocks. */
+    uint64_t totalBlocks() const;
+
+    bool finalized() const { return finalized_; }
+
+  private:
+    bool finalized_ = false;
+};
+
+} // namespace pico::ir
+
+#endif // PICO_IR_PROGRAM_HPP

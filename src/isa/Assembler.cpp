@@ -1,0 +1,112 @@
+#include "isa/Assembler.hpp"
+
+#include <algorithm>
+
+#include "support/Logging.hpp"
+
+namespace pico::isa
+{
+
+size_t
+Assembler::selectTemplate(const compiler::VliwInst &inst,
+                          unsigned followingNops) const
+{
+    std::array<uint8_t, machine::numOpClasses> counts = {};
+    for (const auto &op : inst.ops)
+        ++counts[static_cast<unsigned>(op.opClass)];
+
+    const auto &templates = format_.templates();
+    size_t best = templates.size();
+    for (size_t t = 0; t < templates.size(); ++t) {
+        if (!templates[t].fits(counts))
+            continue;
+        if (best == templates.size()) {
+            best = t;
+            continue;
+        }
+        const auto &cand = templates[t];
+        const auto &cur = templates[best];
+        // Criterion 1: fewest bits.
+        if (cand.bits < cur.bits) {
+            best = t;
+        } else if (cand.bits == cur.bits && followingNops > 0 &&
+                   cand.multiNopCapacity > cur.multiNopCapacity) {
+            // Criterion 2: more multi-no-op headroom at equal size.
+            best = t;
+        }
+    }
+    panicIf(best == templates.size(),
+            "no template fits an instruction with ",
+            inst.occupancy(), " ops");
+    return best;
+}
+
+ObjectBlock
+Assembler::assembleBlock(const compiler::ScheduledBlock &block,
+                         bool isBranchTarget) const
+{
+    ObjectBlock out;
+    out.isBranchTarget = isBranchTarget;
+
+    const auto &templates = format_.templates();
+    const auto &insts = block.insts;
+    const uint32_t nop_bytes = templates.front().bytes();
+
+    size_t i = 0;
+    // Empty cycles before the first real instruction have no
+    // predecessor to absorb them; encode explicit no-ops.
+    while (i < insts.size() && insts[i].isNop()) {
+        out.sizeBytes += nop_bytes;
+        ++out.encodedInsts;
+        ++i;
+    }
+    while (i < insts.size()) {
+        // Count the run of empty cycles after this instruction.
+        size_t j = i + 1;
+        while (j < insts.size() && insts[j].isNop())
+            ++j;
+        auto nops = static_cast<unsigned>(j - i - 1);
+
+        size_t t = selectTemplate(insts[i], nops);
+        out.sizeBytes += templates[t].bytes();
+        ++out.encodedInsts;
+
+        // The template's multi-no-op field absorbs the first few
+        // empty cycles; the rest cost an explicit no-op each.
+        unsigned free_nops =
+            std::min<unsigned>(nops, templates[t].multiNopCapacity);
+        for (unsigned k = free_nops; k < nops; ++k) {
+            out.sizeBytes += nop_bytes;
+            ++out.encodedInsts;
+        }
+        i = j;
+    }
+    return out;
+}
+
+ObjectFile
+Assembler::assemble(const ir::Program &prog,
+                    const compiler::ScheduledProgram &sched) const
+{
+    fatalIf(prog.functions.size() != sched.functions.size(),
+            "program/schedule mismatch in assembler");
+    ObjectFile out;
+    out.machineName = format_.mdes().name();
+    out.fetchPacketBytes = format_.fetchPacketBytes();
+    out.functions.resize(prog.functions.size());
+    for (size_t fi = 0; fi < prog.functions.size(); ++fi) {
+        const auto &func = prog.functions[fi];
+        const auto &sfunc = sched.functions[fi];
+        auto &ofunc = out.functions[fi];
+        ofunc.name = func.name;
+        ofunc.callCount = func.callCount;
+        ofunc.blocks.resize(func.blocks.size());
+        for (size_t bi = 0; bi < func.blocks.size(); ++bi) {
+            ofunc.blocks[bi] = assembleBlock(
+                sfunc.blocks[bi], func.blocks[bi].isBranchTarget);
+        }
+    }
+    return out;
+}
+
+} // namespace pico::isa

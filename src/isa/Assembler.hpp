@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Greedy template-selection assembler.
+ *
+ * Implements the paper's two-criteria heuristic: (1) pick the
+ * template that needs the fewest bits for the operations issued in
+ * this cycle; (2) prefer a template whose multi-no-op field can
+ * absorb the empty issue cycles that follow, so those cycles cost no
+ * code bytes.
+ */
+
+#ifndef PICO_ISA_ASSEMBLER_HPP
+#define PICO_ISA_ASSEMBLER_HPP
+
+#include "compiler/Schedule.hpp"
+#include "ir/Program.hpp"
+#include "isa/InstructionFormat.hpp"
+#include "isa/ObjectFile.hpp"
+
+namespace pico::isa
+{
+
+/** Assembles scheduled code into relocatable objects. */
+class Assembler
+{
+  public:
+    explicit Assembler(const InstructionFormat &format)
+        : format_(format)
+    {}
+
+    /**
+     * Assemble one scheduled block.
+     * @param block the schedule
+     * @param isBranchTarget propagated into the object block
+     * @return the encoded object block
+     */
+    ObjectBlock assembleBlock(const compiler::ScheduledBlock &block,
+                              bool isBranchTarget) const;
+
+    /**
+     * Assemble a whole scheduled program into one object file.
+     * @param prog the IR (for branch-target flags and profile data)
+     * @param sched the machine-dependent schedule
+     */
+    ObjectFile assemble(const ir::Program &prog,
+                        const compiler::ScheduledProgram &sched) const;
+
+    /**
+     * Select the cheapest template for an instruction.
+     * @param inst the instruction
+     * @param followingNops empty issue cycles after it
+     * @return index into format().templates()
+     */
+    size_t selectTemplate(const compiler::VliwInst &inst,
+                          unsigned followingNops) const;
+
+    const InstructionFormat &format() const { return format_; }
+
+  private:
+    const InstructionFormat &format_;
+};
+
+} // namespace pico::isa
+
+#endif // PICO_ISA_ASSEMBLER_HPP

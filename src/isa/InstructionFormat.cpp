@@ -1,0 +1,119 @@
+#include "isa/InstructionFormat.hpp"
+
+#include <algorithm>
+
+#include "support/BitUtils.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::isa
+{
+
+bool
+Template::fits(const std::array<uint8_t,
+                                machine::numOpClasses> &classCounts) const
+{
+    unsigned overflow = 0;
+    for (unsigned c = 0; c < machine::numOpClasses; ++c) {
+        if (classCounts[c] > typedSlots[c])
+            overflow += classCounts[c] - typedSlots[c];
+    }
+    return overflow <= genericSlots;
+}
+
+InstructionFormat::InstructionFormat(const machine::MachineDesc &mdes)
+    : mdes_(mdes)
+{
+    auto roundBits = [](unsigned bits) -> uint32_t {
+        return static_cast<uint32_t>(
+            alignUp(std::max<uint64_t>(bits, 1), quantumBits));
+    };
+
+    unsigned generic_field = 0;
+    for (unsigned c = 0; c < machine::numOpClasses; ++c) {
+        generic_field = std::max(
+            generic_field, opFieldBits(static_cast<ir::OpClass>(c)));
+    }
+
+    auto templateBits = [&](const Template &t) -> unsigned {
+        unsigned bits = headerBits + multiNopBits;
+        for (unsigned c = 0; c < machine::numOpClasses; ++c) {
+            bits += t.typedSlots[c] *
+                    opFieldBits(static_cast<ir::OpClass>(c));
+        }
+        bits += t.genericSlots * generic_field;
+        return bits;
+    };
+
+    // Compact: one generic slot; also encodes explicit no-ops.
+    Template compact;
+    compact.name = "compact";
+    compact.genericSlots = 1;
+    compact.bits = roundBits(templateBits(compact));
+    templates_.push_back(compact);
+
+    // Pair: two generic slots (only meaningful on multi-issue
+    // machines).
+    if (mdes.issueWidth() > 1) {
+        Template pair;
+        pair.name = "pair";
+        pair.genericSlots = 2;
+        pair.bits = roundBits(templateBits(pair));
+        templates_.push_back(pair);
+    }
+
+    // Half: typed slots, ceil(count / 2) per class.
+    Template half;
+    half.name = "half";
+    for (unsigned c = 0; c < machine::numOpClasses; ++c)
+        half.typedSlots[c] = static_cast<uint8_t>((mdes.fuCount[c] + 1) / 2);
+    half.bits = roundBits(templateBits(half));
+
+    // Full: one typed slot per functional unit.
+    Template full;
+    full.name = "full";
+    for (unsigned c = 0; c < machine::numOpClasses; ++c)
+        full.typedSlots[c] = mdes.fuCount[c];
+    full.bits = roundBits(templateBits(full));
+
+    if (half.typedSlots != full.typedSlots)
+        templates_.push_back(half);
+    templates_.push_back(full);
+
+    fetchPacketBytes_ = static_cast<uint32_t>(
+        uint64_t{1} << log2Ceil(full.bytes()));
+
+    // Sanity: templates sorted by size, full template largest.
+    for (size_t i = 1; i < templates_.size(); ++i) {
+        panicIf(templates_[i].bits < templates_[i - 1].bits,
+                "template sizes not monotone");
+    }
+}
+
+unsigned
+InstructionFormat::opFieldBits(ir::OpClass cls) const
+{
+    unsigned int_reg_bits = bitsFor(mdes_.intRegs);
+    unsigned fp_reg_bits = bitsFor(mdes_.fpRegs);
+    // Predicated machines carry a guard-register specifier in every
+    // operation field — one more way wide predicated formats dilate
+    // code.
+    unsigned guard_bits =
+        mdes_.predRegs > 0 ? bitsFor(mdes_.predRegs) : 0;
+    switch (cls) {
+      case ir::OpClass::IntAlu:
+        // opcode + three integer register specifiers
+        return opcodeBits + 3 * int_reg_bits + guard_bits;
+      case ir::OpClass::FloatAlu:
+        // opcode + three FP register specifiers
+        return opcodeBits + 3 * fp_reg_bits + guard_bits;
+      case ir::OpClass::Memory:
+        // opcode + base + data register + 8-bit displacement
+        return opcodeBits + 2 * int_reg_bits + 8 + guard_bits;
+      case ir::OpClass::Branch:
+        // opcode + 16-bit displacement
+        return opcodeBits + 16 + guard_bits;
+    }
+    panic("unknown op class");
+}
+
+} // namespace pico::isa

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Co-synthesized variable-length, multi-template instruction formats.
+ *
+ * Following the paper (section 3.3 and reference [15]), every machine
+ * in the design space gets a customized instruction format: a small
+ * set of templates, each describing which operation slots it encodes
+ * and how many bits it occupies. Templates carry multi-no-op bits so
+ * empty issue cycles after an instruction can be encoded for free.
+ *
+ * The synthesized set contains a compact one-slot template, a
+ * two-slot generic template, a typed half-width template and the
+ * typed full-width template. Wider machines pay for wider operand
+ * fields (larger register files) and coarser template granularity,
+ * which is precisely the code-size dilation mechanism the paper's
+ * model captures.
+ */
+
+#ifndef PICO_ISA_INSTRUCTION_FORMAT_HPP
+#define PICO_ISA_INSTRUCTION_FORMAT_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/Schedule.hpp"
+#include "machine/MachineDesc.hpp"
+
+namespace pico::isa
+{
+
+/**
+ * One instruction template: typed slot capacities plus generic slots
+ * usable by any operation class.
+ */
+struct Template
+{
+    std::string name;
+    /** Typed slots per operation class. */
+    std::array<uint8_t, machine::numOpClasses> typedSlots = {};
+    /** Slots that accept any operation class. */
+    uint8_t genericSlots = 0;
+    /** Encoded size in bits (already rounded to the quantum). */
+    uint32_t bits = 0;
+    /** Following all-no-op instructions encodable for free. */
+    uint8_t multiNopCapacity = 3;
+
+    uint32_t bytes() const { return bits / 8; }
+
+    /** Total operations this template can hold. */
+    unsigned
+    capacity() const
+    {
+        unsigned c = genericSlots;
+        for (auto t : typedSlots)
+            c += t;
+        return c;
+    }
+
+    /**
+     * Whether an instruction with the given per-class operation
+     * counts can be encoded: typed slots absorb their class first,
+     * overflow goes to generic slots.
+     */
+    bool fits(const std::array<uint8_t,
+                               machine::numOpClasses> &classCounts) const;
+};
+
+/** Complete instruction format for one machine. */
+class InstructionFormat
+{
+  public:
+    /**
+     * Synthesize the format for a machine.
+     * @param mdes machine description
+     */
+    explicit InstructionFormat(const machine::MachineDesc &mdes);
+
+    const std::vector<Template> &templates() const { return templates_; }
+
+    /** Bits of one operation field for a class on this machine. */
+    unsigned opFieldBits(ir::OpClass cls) const;
+
+    /**
+     * Fetch-packet size in bytes: the bits fetched from the I-cache
+     * in one cycle, i.e. the full template rounded up to a power of
+     * two. Branch targets are aligned to this by the linker.
+     */
+    uint32_t fetchPacketBytes() const { return fetchPacketBytes_; }
+
+    const machine::MachineDesc &mdes() const { return mdes_; }
+
+    /** Encoding quantum in bits; template sizes are multiples. */
+    static constexpr uint32_t quantumBits = 32;
+    /** Opcode field width in bits. */
+    static constexpr unsigned opcodeBits = 8;
+    /** Header bits (template selector + control). */
+    static constexpr unsigned headerBits = 4;
+    /** Multi-no-op field width in bits. */
+    static constexpr unsigned multiNopBits = 2;
+
+  private:
+    machine::MachineDesc mdes_;
+    std::vector<Template> templates_;
+    uint32_t fetchPacketBytes_ = 0;
+};
+
+} // namespace pico::isa
+
+#endif // PICO_ISA_INSTRUCTION_FORMAT_HPP

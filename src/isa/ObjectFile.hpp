@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Relocatable object representation produced by the assembler.
+ *
+ * An ObjectFile carries, per function and basic block, the encoded
+ * byte size and alignment requirements. The linker consumes it to
+ * perform layout and final address assignment.
+ */
+
+#ifndef PICO_ISA_OBJECT_FILE_HPP
+#define PICO_ISA_OBJECT_FILE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pico::isa
+{
+
+/** Encoded size and layout attributes of one basic block. */
+struct ObjectBlock
+{
+    /** Encoded size in bytes (sum of selected template sizes). */
+    uint32_t sizeBytes = 0;
+    /** Must be aligned to a fetch-packet boundary when placed. */
+    bool isBranchTarget = false;
+    /** Number of encoded (non-free) instructions. */
+    uint32_t encodedInsts = 0;
+};
+
+/** All blocks of one function, in intra-procedural layout order. */
+struct ObjectFunction
+{
+    std::string name;
+    std::vector<ObjectBlock> blocks;
+    /** Dynamic call count, used by the linker for layout. */
+    uint64_t callCount = 0;
+
+    /** Unpadded byte size of the function. */
+    uint32_t
+    rawSize() const
+    {
+        uint32_t n = 0;
+        for (const auto &b : blocks)
+            n += b.sizeBytes;
+        return n;
+    }
+};
+
+/** One relocatable object per application/machine pair. */
+struct ObjectFile
+{
+    /** Machine name the object was assembled for. */
+    std::string machineName;
+    /** Fetch-packet bytes of that machine's format. */
+    uint32_t fetchPacketBytes = 0;
+    std::vector<ObjectFunction> functions;
+
+    /** Unpadded total text bytes. */
+    uint64_t
+    rawTextSize() const
+    {
+        uint64_t n = 0;
+        for (const auto &f : functions)
+            n += f.rawSize();
+        return n;
+    }
+};
+
+} // namespace pico::isa
+
+#endif // PICO_ISA_OBJECT_FILE_HPP

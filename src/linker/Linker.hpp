@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Linker: inter-procedural layout, alignment, address assignment.
+ *
+ * The linker orders functions by dynamic call frequency (hot
+ * functions adjacent, improving spatial locality, as in the paper's
+ * profile-driven inter-procedural layout), aligns branch-target
+ * blocks to fetch-packet boundaries to avoid fetch stalls, and
+ * assigns final addresses.
+ */
+
+#ifndef PICO_LINKER_LINKER_HPP
+#define PICO_LINKER_LINKER_HPP
+
+#include "isa/ObjectFile.hpp"
+#include "linker/LinkedBinary.hpp"
+
+namespace pico::linker
+{
+
+/** Layout policy knobs. */
+struct LinkerOptions
+{
+    /** Order functions by descending dynamic call count. */
+    bool profileGuidedLayout = true;
+    /** Align branch targets to fetch-packet boundaries. */
+    bool alignBranchTargets = true;
+};
+
+/** Produces a LinkedBinary from a relocatable ObjectFile. */
+class Linker
+{
+  public:
+    explicit Linker(LinkerOptions options = {}) : options_(options) {}
+
+    /**
+     * Link one object file.
+     * @param object assembler output
+     * @return executable image with final block addresses
+     */
+    LinkedBinary link(const isa::ObjectFile &object) const;
+
+  private:
+    LinkerOptions options_;
+};
+
+} // namespace pico::linker
+
+#endif // PICO_LINKER_LINKER_HPP

@@ -1,0 +1,102 @@
+#include "machine/MachineDesc.hpp"
+
+#include "support/BitUtils.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::machine
+{
+
+std::string
+MachineDesc::name() const
+{
+    std::string s;
+    for (auto c : fuCount)
+        s += static_cast<char>('0' + c);
+    if (predRegs > 0)
+        s += 'p';
+    return s;
+}
+
+MachineDesc
+MachineDesc::fromName(const std::string &digits)
+{
+    // An optional trailing 'p' selects a predicated machine.
+    std::string body = digits;
+    bool predicated = false;
+    if (!body.empty() && body.back() == 'p') {
+        predicated = true;
+        body.pop_back();
+    }
+    fatalIf(body.size() != numOpClasses,
+            "machine name must have ", numOpClasses, " digits: '",
+            digits, "'");
+    MachineDesc m;
+    for (unsigned i = 0; i < numOpClasses; ++i) {
+        char c = body[i];
+        fatalIf(c < '0' || c > '9', "bad machine name '", digits, "'");
+        m.fuCount[i] = static_cast<uint8_t>(c - '0');
+        fatalIf(m.fuCount[i] == 0,
+                "machine '", digits, "' has a zero FU count");
+    }
+
+    // Register files grow with issue width: a machine that issues more
+    // operations per cycle keeps more values live. Round the scaled
+    // size to a power of two, which is what the operand-field encoder
+    // expects.
+    unsigned width = m.issueWidth();
+    auto scaled = [width](unsigned base) -> uint16_t {
+        unsigned regs = base;
+        if (width > 4)
+            regs = base * ((width + 3) / 4);
+        return static_cast<uint16_t>(
+            uint64_t{1} << log2Ceil(regs));
+    };
+    m.intRegs = scaled(32);
+    m.fpRegs = scaled(32);
+    m.predRegs = predicated ? 32 : 0;
+    // All machines in the default space support speculation (the
+    // paper requires Pref and Pi to share speculation/predication
+    // features); the *compiler* speculates more aggressively on wider
+    // machines, which is where the trace differences come from.
+    m.speculation = true;
+    return m;
+}
+
+double
+MachineDesc::cost() const
+{
+    // Relative areas per FU class: float units are the largest,
+    // memory ports next, then integer ALUs and branch units.
+    static constexpr double fuArea[numOpClasses] = {1.0, 3.0, 2.0, 0.7};
+    double area = 0.0;
+    for (unsigned i = 0; i < numOpClasses; ++i)
+        area += fuArea[i] * fuCount[i];
+
+    // Register file area scales with entries x ports^2 (wire-dominated
+    // multi-ported arrays); ports track issue width.
+    double ports = static_cast<double>(issueWidth());
+    area += (intRegs + fpRegs) / 32.0 * 0.5 * (ports * ports) / 16.0;
+
+    // Instruction fetch/decode grows with width.
+    area += 0.3 * issueWidth();
+    return area;
+}
+
+MachineDesc
+referenceMachine()
+{
+    return MachineDesc::fromName("1111");
+}
+
+std::array<MachineDesc, 4>
+paperTargetMachines()
+{
+    return {
+        MachineDesc::fromName("2111"),
+        MachineDesc::fromName("3221"),
+        MachineDesc::fromName("4221"),
+        MachineDesc::fromName("6332"),
+    };
+}
+
+} // namespace pico::machine

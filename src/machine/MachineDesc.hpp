@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Parameterized VLIW machine description (mdes).
+ *
+ * A machine is named by its functional-unit mix, e.g. "6332" is six
+ * integer ALUs, three floating-point units, three memory ports and two
+ * branch units — the naming convention the paper uses. The mdes also
+ * carries register-file sizes and the predication/speculation switches
+ * that define the trace-equivalence classes of section 4.1.
+ */
+
+#ifndef PICO_MACHINE_MACHINE_DESC_HPP
+#define PICO_MACHINE_MACHINE_DESC_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ir/Operation.hpp"
+
+namespace pico::machine
+{
+
+/** Number of FU classes (int, float, memory, branch). */
+constexpr unsigned numOpClasses = 4;
+
+/**
+ * Description of one VLIW processor in the design space.
+ */
+struct MachineDesc
+{
+    /** FU counts indexed by ir::OpClass. */
+    std::array<uint8_t, numOpClasses> fuCount = {1, 1, 1, 1};
+    /** Integer register file size (power of two). */
+    uint16_t intRegs = 32;
+    /** Floating-point register file size (power of two). */
+    uint16_t fpRegs = 32;
+    /** Predicate register file size; 0 disables predication. */
+    uint16_t predRegs = 0;
+    /** Whether the compiler may speculate loads on this machine. */
+    bool speculation = false;
+
+    /** FU count available for an operation class. */
+    unsigned
+    slots(ir::OpClass cls) const
+    {
+        return fuCount[static_cast<unsigned>(cls)];
+    }
+
+    /** Maximum operations issued per cycle. */
+    unsigned
+    issueWidth() const
+    {
+        unsigned w = 0;
+        for (auto c : fuCount)
+            w += c;
+        return w;
+    }
+
+    /** Canonical "6332"-style name. */
+    std::string name() const;
+
+    /**
+     * Construct a machine from a "6332"-style digit string. Register
+     * files and speculation scale with issue width: wider machines get
+     * larger register files (more live values in flight) and are
+     * allowed to speculate, exactly the coupling the paper describes.
+     */
+    static MachineDesc fromName(const std::string &digits);
+
+    /**
+     * Relative silicon cost of the processor: functional units plus
+     * register files whose port count grows with issue width.
+     */
+    double cost() const;
+
+    /**
+     * Two machines are trace-equivalent when they share predication
+     * and speculation settings (section 4.1: one reference processor
+     * per unique combination of those features).
+     */
+    bool
+    traceEquivalent(const MachineDesc &other) const
+    {
+        return speculation == other.speculation &&
+               (predRegs != 0) == (other.predRegs != 0);
+    }
+};
+
+/** The paper's reference processor: one FU of each class. */
+MachineDesc referenceMachine();
+
+/** The paper's target processors: 2111, 3221, 4221, 6332. */
+std::array<MachineDesc, 4> paperTargetMachines();
+
+} // namespace pico::machine
+
+#endif // PICO_MACHINE_MACHINE_DESC_HPP

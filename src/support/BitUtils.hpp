@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the library.
+ */
+
+#ifndef PICO_SUPPORT_BIT_UTILS_HPP
+#define PICO_SUPPORT_BIT_UTILS_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "support/Logging.hpp"
+
+namespace pico
+{
+
+/** True iff x is a (positive) power of two. */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); x must be non-zero. */
+inline unsigned
+log2Floor(uint64_t x)
+{
+    panicIf(x == 0, "log2Floor of 0");
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** ceil(log2(x)); x must be non-zero. */
+inline unsigned
+log2Ceil(uint64_t x)
+{
+    unsigned f = log2Floor(x);
+    return isPowerOfTwo(x) ? f : f + 1;
+}
+
+/** Round x up to the next multiple of align (a power of two). */
+inline uint64_t
+alignUp(uint64_t x, uint64_t align)
+{
+    panicIf(!isPowerOfTwo(align), "alignUp with non-power-of-two");
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Round x down to a multiple of align (a power of two). */
+inline uint64_t
+alignDown(uint64_t x, uint64_t align)
+{
+    panicIf(!isPowerOfTwo(align), "alignDown with non-power-of-two");
+    return x & ~(align - 1);
+}
+
+/** Number of bits needed to represent values in [0, n). */
+inline unsigned
+bitsFor(uint64_t n)
+{
+    return n <= 1 ? 1 : log2Ceil(n);
+}
+
+} // namespace pico
+
+#endif // PICO_SUPPORT_BIT_UTILS_HPP

@@ -1,0 +1,17 @@
+#include "support/Logging.hpp"
+
+#include <iostream>
+
+namespace pico
+{
+namespace detail
+{
+
+void
+emitMessage(const char *label, const std::string &msg)
+{
+    std::cerr << label << ": " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace pico

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for conditions caused
+ * by the caller (bad configuration, invalid arguments), and
+ * warn()/inform() provide non-fatal status output.
+ */
+
+#ifndef PICO_SUPPORT_LOGGING_HPP
+#define PICO_SUPPORT_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pico
+{
+
+/** Exception thrown by panic(); signals an internal library bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(); signals a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Concatenate all arguments into one string via an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit a labelled message on stderr. */
+void emitMessage(const char *label, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal error that should never happen regardless of what
+ * the user does. Throws PanicError so tests can observe it.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emitMessage("panic", msg);
+    throw PanicError(msg);
+}
+
+/**
+ * Report an unrecoverable condition that is the caller's fault (bad
+ * configuration, invalid arguments). Throws FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emitMessage("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Alert the user to behavior that might indicate a problem. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Provide a normal, informative status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+/** fatal() unless the given condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace pico
+
+#endif // PICO_SUPPORT_LOGGING_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behavior in the library (synthetic workload
+ * generation, execution-engine branch outcomes, data address streams)
+ * flows through Rng so that every experiment is exactly reproducible
+ * from a seed. The generator is xoshiro256**, seeded via splitmix64.
+ */
+
+#ifndef PICO_SUPPORT_RANDOM_HPP
+#define PICO_SUPPORT_RANDOM_HPP
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/Logging.hpp"
+
+namespace pico
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; any seed value is acceptable. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the generator state from a seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 to spread an arbitrary seed over the full state.
+        uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state[1] * 5, 7) * 9;
+        uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be positive. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        panicIf(bound == 0, "Rng::below called with bound 0");
+        // Rejection sampling to avoid modulo bias.
+        uint64_t threshold = -bound % bound;
+        for (;;) {
+            uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        panicIf(lo > hi, "Rng::range called with lo > hi");
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool coin(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-like positive integer with the given mean (>= 1).
+     * Used for run lengths and trip counts.
+     */
+    uint64_t
+    geometric(double mean)
+    {
+        panicIf(mean < 1.0, "Rng::geometric needs mean >= 1");
+        if (mean == 1.0)
+            return 1;
+        double p = 1.0 / mean;
+        uint64_t k = 1;
+        while (!coin(p) && k < 100000)
+            ++k;
+        return k;
+    }
+
+    /**
+     * Zipf-like integer in [0, n), exponent s > 1: indices are drawn
+     * from a bounded Pareto with tail P(X > x) ~ x^(1-s), matching
+     * the Zipf tail. Small indices are hot, so hot data is
+     * contiguous — used to give synthetic data streams realistic
+     * reuse skew.
+     */
+    uint64_t
+    zipf(uint64_t n, double s)
+    {
+        panicIf(n == 0, "Rng::zipf called with n == 0");
+        double alpha = std::max(s - 1.0, 0.05);
+        double nf = static_cast<double>(n);
+        double u = uniform();
+        // Inverse CDF of the bounded Pareto on [1, n+1).
+        double tail = std::pow(nf + 1.0, -alpha);
+        double x = std::pow(1.0 - u * (1.0 - tail), -1.0 / alpha);
+        auto idx = static_cast<uint64_t>(x) - 1;
+        return idx < n ? idx : n - 1;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace pico
+
+#endif // PICO_SUPPORT_RANDOM_HPP

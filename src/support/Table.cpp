@@ -1,0 +1,83 @@
+#include "support/Table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pico
+{
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths over header and all rows.
+    std::vector<size_t> width;
+    auto widen = [&width](const std::vector<std::string> &row) {
+        if (row.size() > width.size())
+            width.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto emit = [&os, &width](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << (i ? "  " : "") << std::left
+               << std::setw(static_cast<int>(width[i])) << row[i];
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < width.size(); ++i)
+            total += width[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << row[i];
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+} // namespace pico

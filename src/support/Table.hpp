@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark and experiment output.
+ *
+ * The benchmark harness reproduces the paper's tables; TextTable keeps
+ * that output aligned and readable without dragging in a formatting
+ * dependency.
+ */
+
+#ifndef PICO_SUPPORT_TABLE_HPP
+#define PICO_SUPPORT_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pico
+{
+
+/** Column-aligned plain text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; it may be ragged relative to the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as comma-separated values. */
+    void printCsv(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pico
+
+#endif // PICO_SUPPORT_TABLE_HPP

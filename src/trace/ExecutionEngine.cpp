@@ -1,0 +1,25 @@
+#include "trace/ExecutionEngine.hpp"
+
+namespace pico::trace
+{
+
+void
+ExecutionEngine::profile(ir::Program &prog, uint64_t maxBlocks)
+{
+    for (auto &func : prog.functions) {
+        func.callCount = 0;
+        for (auto &block : func.blocks)
+            block.profileCount = 0;
+    }
+    ExecutionEngine engine(prog);
+    engine.run(
+        [&prog](uint32_t f, uint32_t b, const std::vector<DataRef> &) {
+            auto &func = prog.functions[f];
+            ++func.blocks[b].profileCount;
+            if (b == 0)
+                ++func.callCount;
+        },
+        maxBlocks);
+}
+
+} // namespace pico::trace

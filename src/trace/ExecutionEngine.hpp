@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Execution engine: runs a program and produces the event trace.
+ *
+ * This is the analogue of the paper's emulator + execution engine
+ * (IMPACT probes on a host workstation). It interprets the
+ * machine-independent IR, so the event trace — the sequence of basic
+ * blocks entered plus the data addresses of their memory operations —
+ * is identical for every machine in a trace-equivalence class, which
+ * is how the paper's assumption 1 is realized.
+ *
+ * All stochastic behavior (branch directions, data access patterns)
+ * is drawn from an Rng seeded by the program, so runs are exactly
+ * reproducible.
+ */
+
+#ifndef PICO_TRACE_EXECUTION_ENGINE_HPP
+#define PICO_TRACE_EXECUTION_ENGINE_HPP
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "ir/Program.hpp"
+#include "support/Logging.hpp"
+#include "support/Random.hpp"
+
+namespace pico::trace
+{
+
+/** One data reference recorded in the event trace. */
+struct DataRef
+{
+    uint64_t addr = 0;
+    /** Index of the memory operation within its IR block. */
+    uint16_t opIndex = 0;
+    bool isStore = false;
+};
+
+/**
+ * Interprets a finalized Program, delivering one callback per basic
+ * block entered:
+ *
+ *     sink(funcId, blockId, const std::vector<DataRef> &data)
+ *
+ * The engine restarts the program from its entry function when it
+ * finishes, until the block budget is exhausted, so arbitrarily long
+ * traces can be sampled from short programs.
+ */
+class ExecutionEngine
+{
+  public:
+    explicit ExecutionEngine(const ir::Program &prog)
+        : prog_(prog), rng_(prog.seed)
+    {
+        fatalIf(!prog.finalized(),
+                "ExecutionEngine needs a finalized program");
+        streamCursor_.assign(prog.streams.size(), 0);
+        loopRemaining_.resize(prog.functions.size());
+        for (size_t fi = 0; fi < prog.functions.size(); ++fi) {
+            loopRemaining_[fi].assign(
+                prog.functions[fi].blocks.size(), 0);
+        }
+    }
+
+    /**
+     * Run the program.
+     * @param sink per-block callback (see class comment)
+     * @param maxBlocks stop after this many block entries
+     * @return number of block entries delivered
+     */
+    template <typename Sink>
+    uint64_t
+    run(Sink &&sink, uint64_t maxBlocks)
+    {
+        rng_.reseed(prog_.seed);
+        std::fill(streamCursor_.begin(), streamCursor_.end(), 0);
+        for (auto &func_loops : loopRemaining_)
+            std::fill(func_loops.begin(), func_loops.end(), 0);
+
+        uint64_t entered = 0;
+        std::vector<DataRef> data;
+        // Call stack of (function, block) frames whose outgoing edge
+        // is pending a callee's return.
+        std::vector<std::pair<uint32_t, uint32_t>> stack;
+
+        uint32_t f = prog_.entryFunction;
+        uint32_t b = 0;
+        while (entered < maxBlocks) {
+            const auto &block = prog_.functions[f].blocks[b];
+
+            data.clear();
+            for (size_t oi = 0; oi < block.ops.size(); ++oi) {
+                const auto &op = block.ops[oi];
+                if (!op.isMem())
+                    continue;
+                DataRef ref;
+                ref.addr = dataAddress(prog_.streams[op.streamId]);
+                ref.opIndex = static_cast<uint16_t>(oi);
+                ref.isStore = op.isStore();
+                data.push_back(ref);
+            }
+            sink(f, b, data);
+            ++entered;
+
+            bool calls = block.callee >= 0 || block.indirectCall;
+            if (calls && entered < maxBlocks) {
+                // Call at block end; the outgoing edge is taken after
+                // the callee returns. Indirect calls dispatch to a
+                // runtime-chosen higher-numbered function.
+                stack.emplace_back(f, b);
+                if (block.indirectCall) {
+                    auto span = static_cast<uint64_t>(
+                        prog_.functions.size() - f - 1);
+                    f = f + 1 +
+                        static_cast<uint32_t>(rng_.below(span));
+                } else {
+                    f = static_cast<uint32_t>(block.callee);
+                }
+                b = 0;
+                continue;
+            }
+
+            // Select the outgoing edge; empty successors return.
+            uint32_t cf = f, cb = b;
+            for (;;) {
+                const auto &cur = prog_.functions[cf].blocks[cb];
+                if (!cur.succs.empty()) {
+                    cb = selectEdge(cf, cur);
+                    break;
+                }
+                if (stack.empty()) {
+                    // Program finished; restart from the entry.
+                    cf = prog_.entryFunction;
+                    cb = 0;
+                    break;
+                }
+                std::tie(cf, cb) = stack.back();
+                stack.pop_back();
+            }
+            f = cf;
+            b = cb;
+        }
+        return entered;
+    }
+
+    /**
+     * Profiling run: fills in BasicBlock::profileCount and
+     * Function::callCount on the program.
+     * @param prog program to profile (counts are overwritten)
+     * @param maxBlocks block-entry budget
+     */
+    static void profile(ir::Program &prog, uint64_t maxBlocks);
+
+  private:
+    /** Next byte address for a stream, per its access pattern. */
+    uint64_t
+    dataAddress(const ir::DataStream &stream)
+    {
+        uint64_t word = 0;
+        uint64_t &cursor = streamCursor_[stream.id];
+        switch (stream.pattern) {
+          case ir::AccessPattern::Sequential:
+            word = cursor % stream.sizeWords;
+            cursor += 1;
+            break;
+          case ir::AccessPattern::Strided:
+            word = cursor % stream.sizeWords;
+            cursor += stream.strideWords;
+            break;
+          case ir::AccessPattern::Random:
+            word = rng_.below(stream.sizeWords);
+            break;
+          case ir::AccessPattern::Zipf:
+            word = rng_.zipf(stream.sizeWords, stream.zipfExponent);
+            break;
+          case ir::AccessPattern::Stack:
+            // Hot sliding window near the top of the region.
+            word = rng_.below(std::min<uint64_t>(64,
+                                                 stream.sizeWords));
+            break;
+        }
+        return stream.baseAddr + word * 4;
+    }
+
+    /**
+     * Pick a successor. Back edges (loops) are *stateful*: on first
+     * exit selection a trip count is drawn whose mean matches the
+     * edge probability (mean = 1 / (1 - p)), the back edge is taken
+     * until it is exhausted, and then the loop exits. Memoryless
+     * geometric looping would occasionally trap execution inside one
+     * nest for the whole trace; real loops iterate and finish.
+     * Forward branches remain probabilistic.
+     */
+    uint32_t
+    selectEdge(uint32_t func, const ir::BasicBlock &block)
+    {
+        const ir::Edge *back = nullptr;
+        const ir::Edge *fwd = nullptr;
+        for (const auto &edge : block.succs) {
+            if (edge.target <= block.id) {
+                back = &edge;
+            } else if (!fwd) {
+                fwd = &edge;
+            }
+        }
+        if (back && fwd) {
+            uint64_t &rem = loopRemaining_[func][block.id];
+            if (rem == 0) {
+                double mean =
+                    1.0 / std::max(1e-9, 1.0 - back->prob);
+                uint64_t cap =
+                    static_cast<uint64_t>(6.0 * mean) + 1;
+                rem = std::min(rng_.geometric(mean), cap);
+            }
+            if (--rem > 0)
+                return back->target;
+            return fwd->target; // rem reached 0: redrawn next entry
+        }
+
+        double u = rng_.uniform();
+        double acc = 0.0;
+        for (const auto &edge : block.succs) {
+            acc += edge.prob;
+            if (u < acc)
+                return edge.target;
+        }
+        return block.succs.back().target;
+    }
+
+    const ir::Program &prog_;
+    Rng rng_;
+    std::vector<uint64_t> streamCursor_;
+    std::vector<std::vector<uint64_t>> loopRemaining_;
+};
+
+} // namespace pico::trace
+
+#endif // PICO_TRACE_EXECUTION_ENGINE_HPP

@@ -1,0 +1,55 @@
+#include "trace/TraceFile.hpp"
+
+#include <iomanip>
+
+namespace pico::trace
+{
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : out_(path, std::ios::trunc)
+{
+    fatalIf(!out_, "cannot open trace file '", path, "' for writing");
+    out_ << header << '\n';
+}
+
+void
+TraceFileWriter::write(const Access &a)
+{
+    int kind = a.isInstr ? 2 : (a.isWrite ? 1 : 0);
+    out_ << kind << ' ' << std::hex << a.addr << std::dec << '\n';
+    ++count_;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (out_.is_open()) {
+        out_.flush();
+        fatalIf(!out_, "trace file write failed");
+        out_.close();
+    }
+}
+
+TraceFileReader::TraceFileReader(const std::string &path) : in_(path)
+{
+    fatalIf(!in_, "cannot open trace file '", path, "'");
+    std::string line;
+    fatalIf(!std::getline(in_, line) ||
+                line != TraceFileWriter::header,
+            "'", path, "' is not a picoeval trace file");
+}
+
+bool
+TraceFileReader::next(Access &a)
+{
+    int kind;
+    if (!(in_ >> kind >> std::hex >> a.addr))
+        return false;
+    in_ >> std::dec;
+    fatalIf(kind < 0 || kind > 2, "corrupt trace record");
+    a.isInstr = kind == 2;
+    a.isWrite = kind == 1;
+    return true;
+}
+
+} // namespace pico::trace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Address-trace serialization.
+ *
+ * The paper's pipeline streams traces between processes (probed
+ * executable -> Etrans -> cheetah). TraceFile provides the
+ * equivalent decoupling for this library: write a trace once, replay
+ * it into any number of simulators later, or exchange traces with
+ * external tools. The format is a dinero-like text form — one record
+ * per line, `<kind> <hex-address>` with kind 0 = data read, 1 = data
+ * write, 2 = instruction fetch — plus a one-line header.
+ */
+
+#ifndef PICO_TRACE_TRACE_FILE_HPP
+#define PICO_TRACE_TRACE_FILE_HPP
+
+#include <fstream>
+#include <string>
+
+#include "support/Logging.hpp"
+#include "trace/Access.hpp"
+
+namespace pico::trace
+{
+
+/** Streams accesses to a trace file. */
+class TraceFileWriter
+{
+  public:
+    /** Magic first line of the format. */
+    static constexpr const char *header = "picoeval-trace-v1";
+
+    /** Open (and truncate) the file; fatal() on failure. */
+    explicit TraceFileWriter(const std::string &path);
+
+    /** Append one access. */
+    void write(const Access &a);
+
+    /** Sink-compatible overload. */
+    void operator()(const Access &a) { write(a); }
+
+    /** Records written so far. */
+    uint64_t count() const { return count_; }
+
+    /** Flush and close; implicit in the destructor. */
+    void close();
+
+  private:
+    std::ofstream out_;
+    uint64_t count_ = 0;
+};
+
+/** Replays a trace file into a sink. */
+class TraceFileReader
+{
+  public:
+    /** Open the file; fatal() on failure or a bad header. */
+    explicit TraceFileReader(const std::string &path);
+
+    /**
+     * Read the next access.
+     * @return false at end of file
+     */
+    bool next(Access &a);
+
+    /**
+     * Replay the whole remaining file.
+     * @return records delivered
+     */
+    template <typename Sink>
+    uint64_t
+    replay(Sink &&sink)
+    {
+        uint64_t n = 0;
+        Access a;
+        while (next(a)) {
+            sink(a);
+            ++n;
+        }
+        return n;
+    }
+
+  private:
+    std::ifstream in_;
+};
+
+} // namespace pico::trace
+
+#endif // PICO_TRACE_TRACE_FILE_HPP

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Trace generator: event trace x linked binary -> address traces.
+ *
+ * Mirrors the paper's trace generator: it symbolically executes the
+ * linked binary under the control-flow events of the execution
+ * engine, producing instruction, data, or joint (unified) address
+ * traces. It also implements the *dilated* trace of section 4
+ * directly: with a dilation coefficient d, every block's offset and
+ * length relative to the text base are scaled by d and rounded to the
+ * nearest word, so contiguous blocks remain contiguous and never
+ * overlap — exactly the construction used in Lemma 1.
+ *
+ * Machine-dependent data references (spill code from register
+ * pressure, spurious addresses from speculated loads) are added here,
+ * from the scheduled program, on top of the machine-independent event
+ * trace.
+ */
+
+#ifndef PICO_TRACE_TRACE_GENERATOR_HPP
+#define PICO_TRACE_TRACE_GENERATOR_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "compiler/Schedule.hpp"
+#include "ir/Program.hpp"
+#include "linker/LinkedBinary.hpp"
+#include "support/Logging.hpp"
+#include "trace/Access.hpp"
+#include "trace/ExecutionEngine.hpp"
+
+namespace pico::trace
+{
+
+/** Generates address traces for one (program, schedule, binary). */
+class TraceGenerator
+{
+  public:
+    /** Base byte address of the spill (stack) region. */
+    static constexpr uint64_t stackBase = 0x7f000000ULL;
+    /** Hot spill window per function, in words. */
+    static constexpr uint64_t spillWindowWords = 64;
+
+    /**
+     * @param prog finalized IR program
+     * @param sched schedule of prog for some machine
+     * @param bin linked binary of that schedule
+     */
+    TraceGenerator(const ir::Program &prog,
+                   const compiler::ScheduledProgram &sched,
+                   const linker::LinkedBinary &bin)
+        : prog_(prog), sched_(sched), bin_(bin)
+    {
+        fatalIf(prog.functions.size() != sched.functions.size(),
+                "program/schedule mismatch in trace generator");
+        fatalIf(bin.numFunctions() != prog.functions.size(),
+                "program/binary mismatch in trace generator");
+    }
+
+    /**
+     * Generate the address trace.
+     * @param kind instruction, data or unified
+     * @param sink callable sink(const Access &)
+     * @param maxBlocks block-entry budget (trace sampling)
+     * @return number of accesses emitted
+     */
+    template <typename Sink>
+    uint64_t
+    generate(TraceKind kind, Sink &&sink, uint64_t maxBlocks) const
+    {
+        return generateDilated(kind, 1.0, std::forward<Sink>(sink),
+                               maxBlocks);
+    }
+
+    /**
+     * Generate the trace with the instruction component dilated by d
+     * (d == 1.0 reproduces generate() exactly). Data references are
+     * never dilated, as in the paper.
+     */
+    template <typename Sink>
+    uint64_t
+    generateDilated(TraceKind kind, double dilation, Sink &&sink,
+                    uint64_t maxBlocks) const
+    {
+        fatalIf(dilation <= 0.0, "dilation must be positive");
+        uint64_t emitted = 0;
+        uint64_t spill_cursor = 0;
+        uint64_t spec_cursor = 0;
+
+        ExecutionEngine engine(prog_);
+        engine.run(
+            [&](uint32_t f, uint32_t b,
+                const std::vector<DataRef> &data) {
+                emitted += emitBlock(kind, dilation, f, b, data,
+                                     spill_cursor, spec_cursor,
+                                     sink);
+            },
+            maxBlocks);
+        return emitted;
+    }
+
+    /**
+     * Convenience: collect a trace into a vector (tests and the
+     * trace-model fitters use this; simulators prefer streaming).
+     */
+    std::vector<Access>
+    collect(TraceKind kind, uint64_t maxBlocks,
+            double dilation = 1.0) const
+    {
+        std::vector<Access> out;
+        generateDilated(kind, dilation,
+                        [&out](const Access &a) { out.push_back(a); },
+                        maxBlocks);
+        return out;
+    }
+
+  private:
+    /** Scale a text offset by the dilation, rounded to a word. */
+    static uint64_t
+    scaleOffset(uint64_t offset, double dilation)
+    {
+        double scaled = static_cast<double>(offset) * dilation;
+        return 4 * static_cast<uint64_t>(std::llround(scaled / 4.0));
+    }
+
+    /** Fraction of speculated-load executions that run down the
+     *  wrong path and emit a spurious reference: one in four. */
+    static constexpr uint64_t wrongPathPeriod = 4;
+
+    template <typename Sink>
+    uint64_t
+    emitBlock(TraceKind kind, double dilation, uint32_t f, uint32_t b,
+              const std::vector<DataRef> &data, uint64_t &spill_cursor,
+              uint64_t &spec_cursor, Sink &sink) const
+    {
+        uint64_t emitted = 0;
+
+        if (kind != TraceKind::Data) {
+            // Instruction fetches: word addresses tiling the block's
+            // (possibly dilated) byte range.
+            const auto &placed = bin_.block(f, b);
+            uint64_t off = placed.startAddr - linker::LinkedBinary::textBase;
+            uint64_t lo = linker::LinkedBinary::textBase +
+                          scaleOffset(off, dilation);
+            uint64_t hi = linker::LinkedBinary::textBase +
+                          scaleOffset(off + placed.sizeBytes, dilation);
+            for (uint64_t addr = lo; addr < hi; addr += 4) {
+                sink(Access{addr, true, false});
+                ++emitted;
+            }
+        }
+
+        if (kind != TraceKind::Instruction) {
+            // Data references in scheduled order; spill code and
+            // speculated loads add machine-dependent references.
+            const auto &sblock = sched_.functions[f].blocks[b];
+            for (const auto &inst : sblock.insts) {
+                for (const auto &op : inst.ops) {
+                    if (!op.isMem())
+                        continue;
+                    if (op.spill) {
+                        uint64_t word = spill_cursor++ %
+                                        spillWindowWords;
+                        uint64_t addr = stackBase + f * 4096 +
+                                        word * 4;
+                        sink(Access{addr, false, op.isStore()});
+                        ++emitted;
+                        continue;
+                    }
+                    // Find the event-trace reference for this op.
+                    const DataRef *ref = nullptr;
+                    for (const auto &r : data) {
+                        if (r.opIndex == op.origIndex) {
+                            ref = &r;
+                            break;
+                        }
+                    }
+                    panicIf(!ref, "scheduled memory op missing from "
+                                  "event trace");
+                    sink(Access{ref->addr, false, ref->isStore});
+                    ++emitted;
+                    if (op.speculated &&
+                        spec_cursor++ % wrongPathPeriod == 0) {
+                        // Wrong-path execution of a hoisted load:
+                        // one spurious nearby reference.
+                        sink(Access{ref->addr + 64, false, false});
+                        ++emitted;
+                    }
+                }
+            }
+        }
+        return emitted;
+    }
+
+    const ir::Program &prog_;
+    const compiler::ScheduledProgram &sched_;
+    const linker::LinkedBinary &bin_;
+};
+
+} // namespace pico::trace
+
+#endif // PICO_TRACE_TRACE_GENERATOR_HPP

@@ -1,0 +1,442 @@
+#include "workloads/AppSpec.hpp"
+
+#include <algorithm>
+
+#include "support/Logging.hpp"
+#include "support/Random.hpp"
+
+namespace pico::workloads
+{
+
+namespace
+{
+
+ir::AccessPattern
+pickPattern(const PatternMix &mix, Rng &rng)
+{
+    double total = mix.sequential + mix.strided + mix.random +
+                   mix.zipf + mix.stack;
+    fatalIf(total <= 0.0, "pattern mix has no weight");
+    double u = rng.uniform() * total;
+    if ((u -= mix.sequential) < 0)
+        return ir::AccessPattern::Sequential;
+    if ((u -= mix.strided) < 0)
+        return ir::AccessPattern::Strided;
+    if ((u -= mix.random) < 0)
+        return ir::AccessPattern::Random;
+    if ((u -= mix.zipf) < 0)
+        return ir::AccessPattern::Zipf;
+    return ir::AccessPattern::Stack;
+}
+
+ir::Operation
+makeBodyOp(const AppSpec &spec, size_t index, Rng &rng)
+{
+    ir::Operation op;
+    double u = rng.uniform();
+    if (u < spec.fracMem) {
+        op.opClass = ir::OpClass::Memory;
+        bool store = rng.coin(0.3);
+        op.memKind = store ? ir::MemKind::Store : ir::MemKind::Load;
+        op.streamId = static_cast<uint16_t>(
+            rng.below(spec.numStreams));
+        op.latency = 2;
+        op.speculable = !store && rng.coin(0.5);
+    } else if (u < spec.fracMem + spec.fracFloat) {
+        op.opClass = ir::OpClass::FloatAlu;
+        op.latency = 3;
+    } else {
+        op.opClass = ir::OpClass::IntAlu;
+        op.latency = 1;
+    }
+
+    // Dependences on recent predecessors; a window of eight models
+    // value lifetimes within straight-line code.
+    size_t window = std::min<size_t>(index, 8);
+    for (size_t k = 1; k <= window; ++k) {
+        if (rng.coin(spec.depDensity / static_cast<double>(k))) {
+            op.deps.push_back(static_cast<uint16_t>(index - k));
+        }
+    }
+    return op;
+}
+
+ir::BasicBlock
+makeBlock(const AppSpec &spec, uint32_t block_id, uint32_t num_blocks,
+          bool allow_loop, Rng &rng)
+{
+    ir::BasicBlock block;
+    auto n_ops = static_cast<uint32_t>(
+        rng.range(spec.minOpsPerBlock, spec.maxOpsPerBlock));
+    for (uint32_t oi = 0; oi + 1 < n_ops; ++oi)
+        block.ops.push_back(makeBodyOp(spec, oi, rng));
+
+    // Every block ends with a control operation (branch, jump over
+    // the fall-through path, or return).
+    ir::Operation branch;
+    branch.opClass = ir::OpClass::Branch;
+    branch.latency = 1;
+    block.ops.push_back(branch);
+
+    bool last = block_id + 1 >= num_blocks;
+    if (last)
+        return block; // no successors: return from the function
+
+    if (block_id > 0 && allow_loop && rng.coin(spec.loopProb)) {
+        // Loop: back edge taken with probability giving the desired
+        // geometric trip count, fall-through otherwise. Back edges
+        // stay local (at most four blocks) so loop nests stay
+        // shallow and execution keeps progressing through the
+        // function.
+        auto reach = std::min<uint64_t>(block_id, 4);
+        auto target = static_cast<uint32_t>(
+            block_id - 1 - rng.below(reach));
+        double p_back = 1.0 - 1.0 / std::max(1.5, spec.loopTripMean);
+        block.succs.push_back({target, p_back});
+        block.succs.push_back({block_id + 1, 1.0 - p_back});
+    } else if (block_id + 2 < num_blocks && rng.coin(spec.branchProb)) {
+        // Two-way forward branch: fall-through or skip ahead.
+        auto skip_to = static_cast<uint32_t>(
+            rng.range(block_id + 2, num_blocks - 1));
+        double p_fall = 0.5 + 0.45 * rng.uniform();
+        block.succs.push_back({block_id + 1, p_fall});
+        block.succs.push_back({skip_to, 1.0 - p_fall});
+    } else {
+        block.succs.push_back({block_id + 1, 1.0});
+    }
+
+    return block;
+}
+
+} // namespace
+
+ir::Program
+buildProgram(const AppSpec &spec)
+{
+    fatalIf(spec.numFunctions == 0, "spec needs at least one function");
+    fatalIf(spec.numStreams == 0, "spec needs at least one stream");
+    fatalIf(spec.minBlocksPerFunction < 2,
+            "functions need at least two blocks");
+    fatalIf(spec.minOpsPerBlock < 2, "blocks need at least two ops");
+
+    Rng rng(spec.seed);
+    ir::Program prog;
+    prog.name = spec.name;
+    prog.seed = spec.seed ^ 0xabcdef12345ULL;
+
+    for (uint32_t si = 0; si < spec.numStreams; ++si) {
+        ir::DataStream stream;
+        stream.pattern = pickPattern(spec.patterns, rng);
+        stream.sizeWords = static_cast<uint64_t>(rng.range(
+            static_cast<int64_t>(spec.minStreamWords),
+            static_cast<int64_t>(spec.maxStreamWords)));
+        stream.strideWords = static_cast<uint32_t>(rng.range(2, 16));
+        stream.zipfExponent = 1.3 + 0.5 * rng.uniform();
+        prog.streams.push_back(stream);
+    }
+
+    for (uint32_t fi = 0; fi < spec.numFunctions; ++fi) {
+        ir::Function func;
+        func.name = spec.name + "_f" + std::to_string(fi);
+        auto n_blocks = static_cast<uint32_t>(rng.range(
+            spec.minBlocksPerFunction, spec.maxBlocksPerFunction));
+        // Loop regions are kept disjoint: after a loop-tail block,
+        // the next few blocks may not start another back edge, so
+        // loop nests stay one (occasionally two) deep and trip
+        // counts do not compound into traps.
+        uint32_t next_loop_allowed = 0;
+        for (uint32_t bi = 0; bi < n_blocks; ++bi) {
+            bool allow_loop = bi >= next_loop_allowed;
+            auto block = makeBlock(spec, bi, n_blocks, allow_loop,
+                                   rng);
+            if (!block.succs.empty() &&
+                block.succs.front().target <= bi) {
+                next_loop_allowed =
+                    bi + 1 +
+                    static_cast<uint32_t>(rng.range(3, 6));
+            }
+            // Calls go to strictly higher-numbered functions,
+            // keeping the call graph acyclic (the engine's stack
+            // stays bounded). The entry function is the program's
+            // driver: it calls (and mostly dispatches indirectly)
+            // much more often than interior functions, so the whole
+            // call DAG is reachable from it.
+            double call_prob = spec.callProb;
+            double indirect_frac = spec.indirectCallFraction;
+            if (fi == 0) {
+                call_prob = std::max(spec.callProb, 0.5);
+                indirect_frac =
+                    std::max(spec.indirectCallFraction, 0.5);
+            }
+            if (fi + 1 < spec.numFunctions && rng.coin(call_prob)) {
+                if (rng.coin(indirect_frac)) {
+                    block.indirectCall = true;
+                } else {
+                    block.callee = static_cast<int32_t>(rng.range(
+                        fi + 1, spec.numFunctions - 1));
+                }
+            }
+            func.blocks.push_back(std::move(block));
+        }
+        prog.functions.push_back(std::move(func));
+    }
+
+    prog.finalize();
+    return prog;
+}
+
+std::vector<AppSpec>
+paperSuite()
+{
+    std::vector<AppSpec> suite;
+
+    // SPEC-class applications: large code, modest loops, pointer-ish
+    // data. These are the benchmarks the paper selects for their
+    // high instruction-cache miss rates.
+    {
+        AppSpec gcc;
+        gcc.name = "085.gcc";
+        gcc.seed = 0x6cc;
+        gcc.numFunctions = 140;
+        gcc.minBlocksPerFunction = 8;
+        gcc.maxBlocksPerFunction = 34;
+        gcc.minOpsPerBlock = 3;
+        gcc.maxOpsPerBlock = 14;
+        gcc.loopProb = 0.18;
+        gcc.loopTripMean = 5.0;
+        gcc.branchProb = 0.55;
+        gcc.callProb = 0.07;
+        gcc.indirectCallFraction = 0.60;
+        gcc.fracMem = 0.32;
+        gcc.fracFloat = 0.02;
+        gcc.depDensity = 0.4;
+        gcc.numStreams = 6;
+        gcc.minStreamWords = 2048;
+        gcc.maxStreamWords = 16384;
+        gcc.patterns = {0.15, 0.0, 0.05, 0.5, 0.3};
+        suite.push_back(gcc);
+    }
+    {
+        AppSpec go;
+        go.name = "099.go";
+        go.seed = 0x60;
+        go.numFunctions = 120;
+        go.minBlocksPerFunction = 10;
+        go.maxBlocksPerFunction = 30;
+        go.minOpsPerBlock = 3;
+        go.maxOpsPerBlock = 12;
+        go.loopProb = 0.2;
+        go.loopTripMean = 6.0;
+        go.branchProb = 0.65;
+        go.callProb = 0.06;
+        go.indirectCallFraction = 0.60;
+        go.fracMem = 0.28;
+        go.fracFloat = 0.0;
+        go.depDensity = 0.45;
+        go.numStreams = 8;
+        go.minStreamWords = 2048;
+        go.maxStreamWords = 16384;
+        go.patterns = {0.15, 0.05, 0.1, 0.4, 0.3};
+        suite.push_back(go);
+    }
+    {
+        AppSpec vortex;
+        vortex.name = "147.vortex";
+        vortex.seed = 0x147;
+        vortex.numFunctions = 130;
+        vortex.minBlocksPerFunction = 6;
+        vortex.maxBlocksPerFunction = 26;
+        vortex.minOpsPerBlock = 4;
+        vortex.maxOpsPerBlock = 16;
+        vortex.loopProb = 0.22;
+        vortex.loopTripMean = 7.0;
+        vortex.branchProb = 0.45;
+        vortex.callProb = 0.09;
+        vortex.indirectCallFraction = 0.65;
+        vortex.fracMem = 0.38;
+        vortex.fracFloat = 0.0;
+        vortex.depDensity = 0.35;
+        vortex.numStreams = 8;
+        vortex.minStreamWords = 4096;
+        vortex.maxStreamWords = 32768;
+        vortex.patterns = {0.15, 0.05, 0.1, 0.45, 0.25};
+        suite.push_back(vortex);
+    }
+
+    // MediaBench-class applications.
+    {
+        AppSpec epic;
+        epic.name = "epic";
+        epic.seed = 0xe91c;
+        epic.numFunctions = 26;
+        epic.minBlocksPerFunction = 6;
+        epic.maxBlocksPerFunction = 18;
+        epic.minOpsPerBlock = 5;
+        epic.maxOpsPerBlock = 18;
+        epic.loopProb = 0.45;
+        epic.loopTripMean = 14.0;
+        epic.branchProb = 0.3;
+        epic.callProb = 0.04;
+        epic.indirectCallFraction = 0.25;
+        epic.fracMem = 0.34;
+        epic.fracFloat = 0.22;
+        epic.depDensity = 0.25;
+        epic.numStreams = 8;
+        epic.minStreamWords = 32768;
+        epic.maxStreamWords = 262144;
+        epic.patterns = {0.5, 0.3, 0.05, 0.1, 0.05};
+        suite.push_back(epic);
+    }
+    {
+        AppSpec gs;
+        gs.name = "ghostscript";
+        gs.seed = 0x6705;
+        gs.numFunctions = 150;
+        gs.minBlocksPerFunction = 8;
+        gs.maxBlocksPerFunction = 36;
+        gs.minOpsPerBlock = 3;
+        gs.maxOpsPerBlock = 15;
+        gs.loopProb = 0.22;
+        gs.loopTripMean = 7.0;
+        gs.branchProb = 0.5;
+        gs.callProb = 0.075;
+        gs.indirectCallFraction = 0.60;
+        gs.fracMem = 0.33;
+        gs.fracFloat = 0.08;
+        gs.depDensity = 0.38;
+        gs.numStreams = 8;
+        gs.minStreamWords = 2048;
+        gs.maxStreamWords = 32768;
+        gs.patterns = {0.2, 0.1, 0.1, 0.4, 0.2};
+        suite.push_back(gs);
+    }
+    {
+        AppSpec mipmap;
+        mipmap.name = "mipmap";
+        mipmap.seed = 0x313933a9;
+        mipmap.numFunctions = 30;
+        mipmap.minBlocksPerFunction = 5;
+        mipmap.maxBlocksPerFunction = 20;
+        mipmap.minOpsPerBlock = 6;
+        mipmap.maxOpsPerBlock = 20;
+        mipmap.loopProb = 0.4;
+        mipmap.loopTripMean = 12.0;
+        mipmap.branchProb = 0.3;
+        mipmap.callProb = 0.05;
+        mipmap.indirectCallFraction = 0.25;
+        mipmap.fracMem = 0.3;
+        mipmap.fracFloat = 0.3;
+        mipmap.depDensity = 0.22;
+        mipmap.numStreams = 10;
+        mipmap.minStreamWords = 65536;
+        mipmap.maxStreamWords = 524288;
+        mipmap.patterns = {0.4, 0.4, 0.05, 0.1, 0.05};
+        suite.push_back(mipmap);
+    }
+    {
+        AppSpec pgpdec;
+        pgpdec.name = "pgpdecode";
+        pgpdec.seed = 0x969dec;
+        pgpdec.numFunctions = 70;
+        pgpdec.minBlocksPerFunction = 6;
+        pgpdec.maxBlocksPerFunction = 24;
+        pgpdec.minOpsPerBlock = 4;
+        pgpdec.maxOpsPerBlock = 16;
+        pgpdec.loopProb = 0.3;
+        pgpdec.loopTripMean = 9.0;
+        pgpdec.branchProb = 0.45;
+        pgpdec.callProb = 0.055;
+        pgpdec.indirectCallFraction = 0.40;
+        pgpdec.fracMem = 0.3;
+        pgpdec.fracFloat = 0.0;
+        pgpdec.depDensity = 0.5;
+        pgpdec.numStreams = 12;
+        pgpdec.minStreamWords = 2048;
+        pgpdec.maxStreamWords = 16384;
+        pgpdec.patterns = {0.2, 0.05, 0.15, 0.4, 0.2};
+        suite.push_back(pgpdec);
+    }
+    {
+        AppSpec pgpenc;
+        pgpenc.name = "pgpencode";
+        pgpenc.seed = 0x969e2c;
+        pgpenc.numFunctions = 66;
+        pgpenc.minBlocksPerFunction = 6;
+        pgpenc.maxBlocksPerFunction = 22;
+        pgpenc.minOpsPerBlock = 4;
+        pgpenc.maxOpsPerBlock = 16;
+        pgpenc.loopProb = 0.32;
+        pgpenc.loopTripMean = 10.0;
+        pgpenc.branchProb = 0.4;
+        pgpenc.callProb = 0.055;
+        pgpenc.indirectCallFraction = 0.40;
+        pgpenc.fracMem = 0.28;
+        pgpenc.fracFloat = 0.0;
+        pgpenc.depDensity = 0.5;
+        pgpenc.numStreams = 12;
+        pgpenc.minStreamWords = 2048;
+        pgpenc.maxStreamWords = 16384;
+        pgpenc.patterns = {0.2, 0.05, 0.15, 0.4, 0.2};
+        suite.push_back(pgpenc);
+    }
+    {
+        AppSpec rasta;
+        rasta.name = "rasta";
+        rasta.seed = 0x4a57a;
+        rasta.numFunctions = 34;
+        rasta.minBlocksPerFunction = 5;
+        rasta.maxBlocksPerFunction = 20;
+        rasta.minOpsPerBlock = 5;
+        rasta.maxOpsPerBlock = 18;
+        rasta.loopProb = 0.38;
+        rasta.loopTripMean = 11.0;
+        rasta.branchProb = 0.35;
+        rasta.callProb = 0.05;
+        rasta.indirectCallFraction = 0.30;
+        rasta.fracMem = 0.3;
+        rasta.fracFloat = 0.25;
+        rasta.depDensity = 0.3;
+        rasta.numStreams = 10;
+        rasta.minStreamWords = 16384;
+        rasta.maxStreamWords = 131072;
+        rasta.patterns = {0.45, 0.25, 0.1, 0.1, 0.1};
+        suite.push_back(rasta);
+    }
+    {
+        AppSpec unepic;
+        unepic.name = "unepic";
+        unepic.seed = 0x04e91c;
+        unepic.numFunctions = 22;
+        unepic.minBlocksPerFunction = 5;
+        unepic.maxBlocksPerFunction = 16;
+        unepic.minOpsPerBlock = 5;
+        unepic.maxOpsPerBlock = 18;
+        unepic.loopProb = 0.45;
+        unepic.loopTripMean = 13.0;
+        unepic.branchProb = 0.3;
+        unepic.callProb = 0.04;
+        unepic.indirectCallFraction = 0.25;
+        unepic.fracMem = 0.33;
+        unepic.fracFloat = 0.18;
+        unepic.depDensity = 0.26;
+        unepic.numStreams = 8;
+        unepic.minStreamWords = 32768;
+        unepic.maxStreamWords = 262144;
+        unepic.patterns = {0.5, 0.3, 0.05, 0.1, 0.05};
+        suite.push_back(unepic);
+    }
+
+    return suite;
+}
+
+AppSpec
+specByName(const std::string &name)
+{
+    for (auto &spec : paperSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown benchmark '", name, "'");
+}
+
+} // namespace pico::workloads

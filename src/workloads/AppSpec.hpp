@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Synthetic application specifications and generator.
+ *
+ * The paper evaluates on MediaBench and SPEC binaries compiled by
+ * Trimaran/IMPACT; neither the benchmarks' inputs nor those compilers
+ * are available here, so we substitute a deterministic synthetic
+ * application generator (see DESIGN.md, section 4). An AppSpec
+ * controls the program-structure knobs that matter to the dilation
+ * model: code size, basic-block size distribution, control-flow
+ * shape (loops, branches, calls), instruction mix, ILP (dependence
+ * density), and the size and access pattern of the data streams.
+ */
+
+#ifndef PICO_WORKLOADS_APP_SPEC_HPP
+#define PICO_WORKLOADS_APP_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/Program.hpp"
+
+namespace pico::workloads
+{
+
+/** Weighted choice of data-stream access patterns. */
+struct PatternMix
+{
+    double sequential = 1.0;
+    double strided = 0.0;
+    double random = 0.0;
+    double zipf = 0.0;
+    double stack = 0.0;
+};
+
+/** All generator knobs for one synthetic application. */
+struct AppSpec
+{
+    std::string name = "app";
+    uint64_t seed = 1;
+
+    /** @name Code shape */
+    /// @{
+    uint32_t numFunctions = 16;
+    uint32_t minBlocksPerFunction = 6;
+    uint32_t maxBlocksPerFunction = 20;
+    uint32_t minOpsPerBlock = 4;
+    uint32_t maxOpsPerBlock = 14;
+    /// @}
+
+    /** @name Control flow */
+    /// @{
+    /** Probability a block carries a loop back edge. */
+    double loopProb = 0.3;
+    /** Mean iterations of a loop (back-edge geometric mean). */
+    double loopTripMean = 8.0;
+    /** Probability a non-loop block ends in a two-way branch. */
+    double branchProb = 0.4;
+    /** Probability a block calls another function. */
+    double callProb = 0.15;
+    /**
+     * Fraction of call sites that are indirect (dispatch-style,
+     * callee chosen at run time). Spreads execution over many
+     * functions, widening the instruction working set the way
+     * compiler/interpreter workloads do.
+     */
+    double indirectCallFraction = 0.25;
+    /// @}
+
+    /** @name Operation mix (fractions of body ops; rest integer) */
+    /// @{
+    double fracMem = 0.3;
+    double fracFloat = 0.1;
+    /// @}
+
+    /** Probability an op depends on each of its recent predecessors
+     *  (higher = less ILP). */
+    double depDensity = 0.35;
+
+    /** @name Data streams */
+    /// @{
+    uint32_t numStreams = 8;
+    uint64_t minStreamWords = 4096;
+    uint64_t maxStreamWords = 65536;
+    PatternMix patterns;
+    /// @}
+};
+
+/**
+ * Generate the program for a spec. The result is finalized but not
+ * profiled; run ExecutionEngine::profile before layout or cycle
+ * estimation.
+ */
+ir::Program buildProgram(const AppSpec &spec);
+
+/**
+ * The ten benchmark analogues used throughout the experiments, named
+ * after the paper's benchmarks: 085.gcc, 099.go, 147.vortex, epic,
+ * ghostscript, mipmap, pgpdecode, pgpencode, rasta, unepic.
+ */
+std::vector<AppSpec> paperSuite();
+
+/** Lookup one suite member by name; fatal() when unknown. */
+AppSpec specByName(const std::string &name);
+
+} // namespace pico::workloads
+
+#endif // PICO_WORKLOADS_APP_SPEC_HPP

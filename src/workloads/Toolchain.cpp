@@ -1,0 +1,49 @@
+#include "workloads/Toolchain.hpp"
+
+#include "compiler/Hyperblock.hpp"
+#include "compiler/Scheduler.hpp"
+#include "isa/Assembler.hpp"
+#include "isa/InstructionFormat.hpp"
+#include "linker/Linker.hpp"
+#include "trace/ExecutionEngine.hpp"
+
+namespace pico::workloads
+{
+
+ir::Program
+buildAndProfile(const AppSpec &spec, uint64_t profile_blocks)
+{
+    ir::Program prog = buildProgram(spec);
+    trace::ExecutionEngine::profile(prog, profile_blocks);
+    return prog;
+}
+
+ir::Program
+programForClass(const ir::Program &base,
+                const machine::MachineDesc &mdes,
+                uint64_t profile_blocks)
+{
+    if (mdes.predRegs == 0)
+        return base;
+    ir::Program converted = compiler::formHyperblocks(base);
+    trace::ExecutionEngine::profile(converted, profile_blocks);
+    return converted;
+}
+
+MachineBuild
+buildFor(const ir::Program &prog, const machine::MachineDesc &mdes)
+{
+    compiler::Scheduler scheduler;
+    isa::InstructionFormat format(mdes);
+    isa::Assembler assembler(format);
+    linker::Linker linker;
+
+    MachineBuild out;
+    out.sched = scheduler.schedule(prog, mdes);
+    out.bin = linker.link(assembler.assemble(prog, out.sched));
+    out.processorCycles =
+        compiler::Scheduler::processorCycles(prog, out.sched);
+    return out;
+}
+
+} // namespace pico::workloads

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Convenience driver for the whole per-machine tool chain:
+ * schedule -> assemble -> link, mirroring the paper's figure 3
+ * pipeline. Experiments and examples use these helpers; the
+ * individual tools remain directly usable.
+ */
+
+#ifndef PICO_WORKLOADS_TOOLCHAIN_HPP
+#define PICO_WORKLOADS_TOOLCHAIN_HPP
+
+#include <cstdint>
+
+#include "compiler/Schedule.hpp"
+#include "ir/Program.hpp"
+#include "linker/LinkedBinary.hpp"
+#include "machine/MachineDesc.hpp"
+#include "workloads/AppSpec.hpp"
+
+namespace pico::workloads
+{
+
+/** Default block-entry budget for profiling runs. */
+constexpr uint64_t defaultProfileBlocks = 60000;
+
+/** Everything machine-dependent built for one (app, machine) pair. */
+struct MachineBuild
+{
+    compiler::ScheduledProgram sched;
+    linker::LinkedBinary bin;
+    /** Estimated processor cycles (schedule lengths x profile). */
+    uint64_t processorCycles = 0;
+};
+
+/**
+ * Generate a program from a spec and run the profiling pass that
+ * fills block and call counts.
+ */
+ir::Program buildAndProfile(const AppSpec &spec,
+                            uint64_t profile_blocks =
+                                defaultProfileBlocks);
+
+/**
+ * Compile, assemble and link a profiled program for one machine.
+ * The program must belong to the machine's trace-equivalence class
+ * (see programForClass).
+ */
+MachineBuild buildFor(const ir::Program &prog,
+                      const machine::MachineDesc &mdes);
+
+/**
+ * Produce the program variant matching a machine's trace-equivalence
+ * class: for predicated machines the program is if-converted into
+ * hyperblocks and re-profiled; otherwise a copy of the base program
+ * is returned. One such variant serves as the common source for
+ * every machine in the class — the paper's "several Pref processors,
+ * one for each unique combination of predication and speculation".
+ */
+ir::Program programForClass(const ir::Program &base,
+                            const machine::MachineDesc &mdes,
+                            uint64_t profile_blocks =
+                                defaultProfileBlocks);
+
+} // namespace pico::workloads
+
+#endif // PICO_WORKLOADS_TOOLCHAIN_HPP

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the AHH analytic model math (equations 4.6-4.8):
+ * the set-occupancy distribution, the two collision computations and
+ * their agreement, and the miss-scaling rule (equation 4.7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/AhhModel.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::core::ahh
+{
+namespace
+{
+
+TEST(SetOccupancy, SumsToOne)
+{
+    double uL = 50.0;
+    uint32_t sets = 16;
+    double total = 0.0;
+    for (uint32_t a = 0; a <= 50; ++a)
+        total += setOccupancyProb(uL, a, sets);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SetOccupancy, MeanIsULinesOverSets)
+{
+    double uL = 80.0;
+    uint32_t sets = 8;
+    double mean = 0.0;
+    for (uint32_t a = 0; a <= 80; ++a)
+        mean += a * setOccupancyProb(uL, a, sets);
+    EXPECT_NEAR(mean, uL / sets, 1e-9);
+}
+
+TEST(SetOccupancy, FractionalLineCount)
+{
+    // The dilation model evaluates u(L) at non-integer values.
+    double p = setOccupancyProb(10.5, 2, 8);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+}
+
+TEST(SetOccupancy, ZeroBeyondPopulation)
+{
+    EXPECT_DOUBLE_EQ(setOccupancyProb(3.0, 5, 8), 0.0);
+}
+
+TEST(SetOccupancy, SingleSetDegenerate)
+{
+    EXPECT_DOUBLE_EQ(setOccupancyProb(5.0, 5, 1), 1.0);
+    EXPECT_DOUBLE_EQ(setOccupancyProb(5.0, 2, 1), 0.0);
+}
+
+TEST(Collisions, ZeroWhenNoLines)
+{
+    EXPECT_DOUBLE_EQ(collisions(0.0, 16, 2), 0.0);
+}
+
+TEST(Collisions, NearZeroWhenCacheMuchBigger)
+{
+    // 10 lines into 256 sets, 4-way: collisions essentially zero.
+    EXPECT_LT(collisions(10.0, 256, 4), 1e-6);
+}
+
+TEST(Collisions, LargeWhenCacheOverwhelmed)
+{
+    // 10000 lines into 16 sets, 1-way: nearly everything collides.
+    double coll = collisions(10000.0, 16, 1);
+    EXPECT_GT(coll, 10000.0 - 16.0 - 1.0);
+    EXPECT_LE(coll, 10000.0);
+}
+
+TEST(Collisions, MonotoneDecreasingInAssociativity)
+{
+    double prev = collisions(500.0, 64, 1);
+    for (uint32_t a = 2; a <= 16; ++a) {
+        double cur = collisions(500.0, 64, a);
+        EXPECT_LE(cur, prev) << "assoc=" << a;
+        prev = cur;
+    }
+}
+
+TEST(Collisions, MonotoneDecreasingInSets)
+{
+    double prev = collisions(500.0, 16, 2);
+    for (uint32_t s = 32; s <= 1024; s *= 2) {
+        double cur = collisions(500.0, s, 2);
+        EXPECT_LT(cur, prev) << "sets=" << s;
+        prev = cur;
+    }
+}
+
+TEST(Collisions, TailSeriesMatchesDirectFormWhenWellConditioned)
+{
+    // In regimes where the direct form is numerically healthy the
+    // two computations agree tightly.
+    struct Case
+    {
+        double uL;
+        uint32_t sets;
+        uint32_t assoc;
+    };
+    for (const auto &c : {Case{200.0, 32, 1}, Case{200.0, 32, 2},
+                          Case{1000.0, 128, 4}, Case{64.0, 16, 2},
+                          Case{500.0, 64, 8}}) {
+        double tail = collisions(c.uL, c.sets, c.assoc);
+        double direct = collisionsDirect(c.uL, c.sets, c.assoc);
+        EXPECT_NEAR(tail, direct, 1e-6 * (1.0 + direct))
+            << "uL=" << c.uL << " S=" << c.sets << " A=" << c.assoc;
+    }
+}
+
+TEST(Collisions, TailSeriesStableWhereDirectFormCancels)
+{
+    // 100 lines into 4096 sets, 8-way: Coll is astronomically small;
+    // the direct form is pure cancellation noise while the tail
+    // series returns a clean non-negative value.
+    double tail = collisions(100.0, 4096, 8);
+    EXPECT_GE(tail, 0.0);
+    EXPECT_LT(tail, 1e-12);
+}
+
+TEST(Collisions, SingleSetDegenerate)
+{
+    EXPECT_DOUBLE_EQ(collisions(10.0, 1, 4), 6.0);
+    EXPECT_DOUBLE_EQ(collisions(3.0, 1, 4), 0.0);
+}
+
+TEST(ScaleMisses, ProportionalScaling)
+{
+    EXPECT_DOUBLE_EQ(scaleMisses(1000.0, 50.0, 100.0), 2000.0);
+    EXPECT_DOUBLE_EQ(scaleMisses(1000.0, 50.0, 25.0), 500.0);
+}
+
+TEST(ScaleMisses, DegenerateReferenceFallsBack)
+{
+    EXPECT_DOUBLE_EQ(scaleMisses(1000.0, 0.0, 10.0), 1000.0);
+}
+
+TEST(ScaleMisses, RejectsNegativeMisses)
+{
+    EXPECT_THROW(scaleMisses(-1.0, 1.0, 1.0), FatalError);
+}
+
+} // namespace
+} // namespace pico::core::ahh

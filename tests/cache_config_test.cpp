@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for CacheConfig: feasibility, naming, construction and
+ * the area cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/CacheConfig.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::cache
+{
+namespace
+{
+
+TEST(CacheConfig, SizeBytes)
+{
+    CacheConfig cfg{32, 2, 32};
+    EXPECT_EQ(cfg.sizeBytes(), 2048u);
+}
+
+TEST(CacheConfig, FeasibleRequiresPowersOfTwo)
+{
+    EXPECT_TRUE((CacheConfig{32, 2, 32}).feasible());
+    EXPECT_TRUE((CacheConfig{1, 1, 4}).feasible());
+    EXPECT_FALSE((CacheConfig{3, 2, 32}).feasible());  // sets
+    EXPECT_FALSE((CacheConfig{32, 2, 24}).feasible()); // line
+    EXPECT_FALSE((CacheConfig{32, 0, 32}).feasible()); // assoc
+    EXPECT_FALSE((CacheConfig{32, 2, 2}).feasible());  // sub-word
+}
+
+TEST(CacheConfig, AssociativityNeedNotBePowerOfTwo)
+{
+    EXPECT_TRUE((CacheConfig{16, 3, 32}).feasible());
+    EXPECT_TRUE((CacheConfig{16, 5, 32}).feasible());
+}
+
+TEST(CacheConfig, ValidateThrowsOnInfeasible)
+{
+    CacheConfig bad{3, 1, 32};
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(CacheConfig, FromSizePaperConfigs)
+{
+    // The paper's small config: 1KB direct-mapped, 32B lines.
+    auto small = CacheConfig::fromSize(1024, 1, 32);
+    EXPECT_EQ(small.sets, 32u);
+    EXPECT_EQ(small.sizeBytes(), 1024u);
+
+    // 16KB 2-way 64B (small unified).
+    auto uc = CacheConfig::fromSize(16384, 2, 64);
+    EXPECT_EQ(uc.sets, 128u);
+
+    // 128KB 4-way 64B (large unified).
+    auto big = CacheConfig::fromSize(131072, 4, 64);
+    EXPECT_EQ(big.sets, 512u);
+}
+
+TEST(CacheConfig, FromSizeRejectsIndivisible)
+{
+    EXPECT_THROW(CacheConfig::fromSize(1000, 1, 32), FatalError);
+    EXPECT_THROW(CacheConfig::fromSize(1024, 3, 32), FatalError);
+}
+
+TEST(CacheConfig, NameFormat)
+{
+    EXPECT_EQ(CacheConfig::fromSize(16384, 2, 32).name(),
+              "16KB/2way/32B");
+    EXPECT_EQ((CacheConfig{1, 1, 4}).name(), "4B/1way/4B");
+}
+
+TEST(CacheConfig, AreaGrowsWithSize)
+{
+    auto a = CacheConfig::fromSize(1024, 1, 32);
+    auto b = CacheConfig::fromSize(16384, 1, 32);
+    EXPECT_GT(b.areaCost(), a.areaCost());
+}
+
+TEST(CacheConfig, AreaGrowsWithAssociativity)
+{
+    auto a = CacheConfig::fromSize(8192, 1, 32);
+    auto b = CacheConfig::fromSize(8192, 4, 32);
+    EXPECT_GT(b.areaCost(), a.areaCost());
+}
+
+TEST(CacheConfig, AreaGrowsQuadraticallyWithPorts)
+{
+    auto one = CacheConfig::fromSize(8192, 2, 32, 1);
+    auto two = CacheConfig::fromSize(8192, 2, 32, 2);
+    EXPECT_NEAR(two.areaCost() / one.areaCost(), 4.0, 1e-9);
+}
+
+TEST(CacheConfig, Equality)
+{
+    auto a = CacheConfig::fromSize(1024, 1, 32);
+    auto b = CacheConfig::fromSize(1024, 1, 32);
+    auto c = CacheConfig::fromSize(1024, 2, 32);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+} // namespace
+} // namespace pico::cache

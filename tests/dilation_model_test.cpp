@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the dilation model: Lemma 1 exactness in simulation, the
+ * equation 4.12 interpolation (exact at feasible endpoints), the
+ * unified-cache extrapolation, and end-to-end estimation quality on
+ * synthetic block traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cache/CacheSim.hpp"
+#include "cache/SinglePassSim.hpp"
+#include "core/DilationModel.hpp"
+#include "core/TraceModel.hpp"
+#include "support/Random.hpp"
+
+namespace pico::core
+{
+namespace
+{
+
+/** A synthetic "binary": blocks with base-relative byte offsets. */
+struct Block
+{
+    uint64_t offset;
+    uint32_t size;
+};
+
+constexpr uint64_t kBase = 0x01000000;
+
+/** Lay out contiguous blocks with the given sizes. */
+std::vector<Block>
+layout(const std::vector<uint32_t> &sizes)
+{
+    std::vector<Block> blocks;
+    uint64_t off = 0;
+    for (auto size : sizes) {
+        blocks.push_back({off, size});
+        off += size;
+    }
+    return blocks;
+}
+
+/** Random block visit sequence with locality. */
+std::vector<size_t>
+visitSequence(size_t num_blocks, size_t length, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<size_t> seq;
+    size_t cur = 0;
+    for (size_t i = 0; i < length; ++i) {
+        seq.push_back(cur);
+        if (rng.coin(0.6))
+            cur = (cur + 1) % num_blocks;
+        else
+            cur = rng.below(num_blocks);
+    }
+    return seq;
+}
+
+/**
+ * Emit the word-granularity instruction trace of a block sequence,
+ * dilated by d per the paper's construction: offsets and lengths
+ * scaled and rounded to words.
+ */
+template <typename Sink>
+void
+emitTrace(const std::vector<Block> &blocks,
+          const std::vector<size_t> &seq, double d, Sink &&sink)
+{
+    auto scale = [d](uint64_t off) {
+        return 4 * static_cast<uint64_t>(
+                       std::llround(static_cast<double>(off) * d / 4.0));
+    };
+    for (auto idx : seq) {
+        const auto &b = blocks[idx];
+        uint64_t lo = kBase + scale(b.offset);
+        uint64_t hi = kBase + scale(b.offset + b.size);
+        for (uint64_t addr = lo; addr < hi; addr += 4)
+            sink(addr);
+    }
+}
+
+uint64_t
+simulateMisses(const std::vector<Block> &blocks,
+               const std::vector<size_t> &seq, double d,
+               const cache::CacheConfig &cfg)
+{
+    cache::CacheSim sim(cfg);
+    emitTrace(blocks, seq, d,
+              [&sim](uint64_t addr) { sim.access(addr); });
+    return sim.misses();
+}
+
+std::vector<uint32_t>
+randomSizes(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> sizes;
+    for (size_t i = 0; i < n; ++i)
+        sizes.push_back(static_cast<uint32_t>(rng.range(3, 40)) * 4);
+    return sizes;
+}
+
+/**
+ * Lemma 1: with power-of-two d and aligned base, misses of
+ * IC(S, A, L) on the trace dilated by d equal misses of
+ * IC(S, A, L/d) on the undilated trace — exactly.
+ */
+TEST(Lemma1, ExactForPowerOfTwoDilations)
+{
+    auto blocks = layout(randomSizes(60, 11));
+    auto seq = visitSequence(blocks.size(), 4000, 12);
+
+    for (double d : {2.0, 4.0}) {
+        for (uint32_t assoc : {1u, 2u}) {
+            cache::CacheConfig dilated_cfg{32, assoc, 32};
+            cache::CacheConfig contracted_cfg{
+                32, assoc, static_cast<uint32_t>(32 / d)};
+            EXPECT_EQ(
+                simulateMisses(blocks, seq, d, dilated_cfg),
+                simulateMisses(blocks, seq, 1.0, contracted_cfg))
+                << "d=" << d << " assoc=" << assoc;
+        }
+    }
+}
+
+TEST(Lemma1, HoldsAcrossSetCounts)
+{
+    auto blocks = layout(randomSizes(40, 21));
+    auto seq = visitSequence(blocks.size(), 3000, 22);
+    for (uint32_t sets : {8u, 16u, 64u}) {
+        cache::CacheConfig big{sets, 1, 64};
+        cache::CacheConfig small{sets, 1, 32};
+        EXPECT_EQ(simulateMisses(blocks, seq, 2.0, big),
+                  simulateMisses(blocks, seq, 1.0, small))
+            << "sets=" << sets;
+    }
+}
+
+/** Fit trace parameters from the undilated trace. */
+ComponentParams
+fitParams(const std::vector<Block> &blocks,
+          const std::vector<size_t> &seq, uint64_t granule)
+{
+    ItraceModeler modeler(granule);
+    emitTrace(blocks, seq, 1.0, [&modeler](uint64_t addr) {
+        modeler.access({addr, true, false});
+    });
+    return modeler.params();
+}
+
+TEST(IcacheEstimate, ExactAtFeasibleContractedLineSize)
+{
+    auto blocks = layout(randomSizes(50, 31));
+    auto seq = visitSequence(blocks.size(), 3000, 32);
+    auto params = fitParams(blocks, seq, 2000);
+    DilationModel model(params, params, params);
+
+    MissOracle oracle = [&](const cache::CacheConfig &cfg) {
+        return static_cast<double>(
+            simulateMisses(blocks, seq, 1.0, cfg));
+    };
+
+    // d = 2: L/d = 16 is feasible; the estimate must equal the
+    // oracle exactly.
+    cache::CacheConfig cfg{32, 1, 32};
+    cache::CacheConfig half{32, 1, 16};
+    EXPECT_DOUBLE_EQ(model.estimateIcacheMisses(cfg, 2.0, oracle),
+                     oracle(half));
+}
+
+TEST(IcacheEstimate, InterpolationIsPinnedAtEndpoints)
+{
+    auto blocks = layout(randomSizes(50, 41));
+    auto seq = visitSequence(blocks.size(), 3000, 42);
+    auto params = fitParams(blocks, seq, 2000);
+    DilationModel model(params, params, params);
+
+    MissOracle oracle = [&](const cache::CacheConfig &cfg) {
+        return static_cast<double>(
+            simulateMisses(blocks, seq, 1.0, cfg));
+    };
+
+    // As dilation varies from just above 1 toward 2, the estimate
+    // must stay between (roughly) the misses at L and at L/2, and
+    // approach the L/2 endpoint.
+    cache::CacheConfig cfg{32, 1, 32};
+    double m_full = oracle(cfg);
+    double m_half = oracle(cache::CacheConfig{32, 1, 16});
+    double est_near1 = model.estimateIcacheMisses(cfg, 1.01, oracle);
+    double est_near2 = model.estimateIcacheMisses(cfg, 1.99, oracle);
+    EXPECT_NEAR(est_near1, m_full, 0.1 * m_full);
+    EXPECT_NEAR(est_near2, m_half, 0.1 * m_half);
+}
+
+TEST(IcacheEstimate, TracksDilatedSimulationWithinModelError)
+{
+    // End-to-end: estimates at non-feasible dilations track the
+    // *simulated* dilated-trace misses (the paper's figure 6).
+    auto blocks = layout(randomSizes(80, 51));
+    auto seq = visitSequence(blocks.size(), 6000, 52);
+    auto params = fitParams(blocks, seq, 3000);
+    DilationModel model(params, params, params);
+
+    MissOracle oracle = [&](const cache::CacheConfig &cfg) {
+        return static_cast<double>(
+            simulateMisses(blocks, seq, 1.0, cfg));
+    };
+
+    cache::CacheConfig cfg{32, 2, 32};
+    for (double d : {1.3, 1.5, 1.7, 2.5, 3.0}) {
+        double actual = static_cast<double>(
+            simulateMisses(blocks, seq, d, cfg));
+        double est = model.estimateIcacheMisses(cfg, d, oracle);
+        EXPECT_NEAR(est / actual, 1.0, 0.35) << "d=" << d;
+    }
+}
+
+TEST(IcacheEstimate, MonotoneInDilation)
+{
+    auto blocks = layout(randomSizes(60, 61));
+    auto seq = visitSequence(blocks.size(), 4000, 62);
+    auto params = fitParams(blocks, seq, 2000);
+    DilationModel model(params, params, params);
+    MissOracle oracle = [&](const cache::CacheConfig &cfg) {
+        return static_cast<double>(
+            simulateMisses(blocks, seq, 1.0, cfg));
+    };
+    cache::CacheConfig cfg{32, 1, 32};
+    double prev = model.estimateIcacheMisses(cfg, 1.0, oracle);
+    for (double d = 1.25; d <= 4.0; d += 0.25) {
+        double cur = model.estimateIcacheMisses(cfg, d, oracle);
+        EXPECT_GE(cur, prev * 0.999) << "d=" << d;
+        prev = cur;
+    }
+}
+
+TEST(UcacheEstimate, IdentityAtUnitDilation)
+{
+    ComponentParams pi{500.0, 0.1, 8.0};
+    ComponentParams pd{800.0, 0.7, 1.5};
+    DilationModel model(pi, pi, pd);
+    cache::CacheConfig cfg{128, 2, 64};
+    EXPECT_NEAR(model.estimateUcacheMisses(cfg, 1.0, 12345.0),
+                12345.0, 1e-6);
+}
+
+TEST(UcacheEstimate, GrowsWithDilation)
+{
+    ComponentParams pi{2000.0, 0.1, 8.0};
+    ComponentParams pd{3000.0, 0.7, 1.5};
+    DilationModel model(pi, pi, pd);
+    cache::CacheConfig cfg{128, 2, 64};
+    double prev = model.estimateUcacheMisses(cfg, 1.0, 10000.0);
+    for (double d = 1.25; d <= 3.5; d += 0.25) {
+        double cur = model.estimateUcacheMisses(cfg, d, 10000.0);
+        EXPECT_GE(cur, prev) << "d=" << d;
+        prev = cur;
+    }
+}
+
+TEST(UcacheEstimate, DataComponentNotDilated)
+{
+    // With a pure-data unified trace (no instruction lines), the
+    // estimate must not move with dilation.
+    ComponentParams pi{0.0, 0.0, 1.0};
+    ComponentParams pd{3000.0, 0.7, 1.5};
+    DilationModel model(pi, pi, pd);
+    cache::CacheConfig cfg{128, 2, 64};
+    double at1 = model.estimateUcacheMisses(cfg, 1.0, 5000.0);
+    double at3 = model.estimateUcacheMisses(cfg, 3.0, 5000.0);
+    EXPECT_NEAR(at1, at3, 1e-9 * at1);
+}
+
+TEST(DcacheEstimate, IsIdentity)
+{
+    EXPECT_DOUBLE_EQ(DilationModel::estimateDcacheMisses(777.0),
+                     777.0);
+}
+
+TEST(DilationModel, RejectsBadInputs)
+{
+    ComponentParams p{100.0, 0.5, 2.0};
+    DilationModel model(p, p, p);
+    MissOracle oracle = [](const cache::CacheConfig &) {
+        return 1.0;
+    };
+    cache::CacheConfig cfg{32, 1, 32};
+    EXPECT_THROW(model.estimateIcacheMisses(cfg, 0.0, oracle),
+                 FatalError);
+    EXPECT_THROW(model.estimateUcacheMisses(cfg, -1.0, 10.0),
+                 FatalError);
+    cache::CacheConfig bad{33, 1, 32};
+    EXPECT_THROW(model.estimateIcacheMisses(bad, 2.0, oracle),
+                 FatalError);
+}
+
+} // namespace
+} // namespace pico::core

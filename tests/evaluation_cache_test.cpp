@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the persistent EvaluationCache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dse/EvaluationCache.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::dse
+{
+namespace
+{
+
+TEST(EvaluationCache, ComputesOnMissOnly)
+{
+    EvaluationCache cache;
+    int computations = 0;
+    auto compute = [&computations]() {
+        ++computations;
+        return std::vector<double>{1.0, 2.0};
+    };
+    auto a = cache.getOrCompute("k", compute);
+    auto b = cache.getOrCompute("k", compute);
+    EXPECT_EQ(computations, 1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(EvaluationCache, LookupWithoutCompute)
+{
+    EvaluationCache cache;
+    std::vector<double> values;
+    EXPECT_FALSE(cache.lookup("missing", values));
+    cache.store("present", {3.5});
+    ASSERT_TRUE(cache.lookup("present", values));
+    EXPECT_EQ(values, std::vector<double>{3.5});
+}
+
+TEST(EvaluationCache, RejectsReservedCharacters)
+{
+    EvaluationCache cache;
+    EXPECT_THROW(cache.store("a|b", {1.0}), FatalError);
+    EXPECT_THROW(cache.store("a\nb", {1.0}), FatalError);
+}
+
+TEST(EvaluationCache, PersistsAcrossInstances)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_eval_cache_test.db";
+    std::filesystem::remove(path);
+    {
+        EvaluationCache cache(path.string());
+        cache.store("app/ic/16KB", {123.0, 456.0});
+        cache.store("app/uc/128KB", {7.0});
+        cache.save();
+    }
+    {
+        EvaluationCache cache(path.string());
+        std::vector<double> values;
+        ASSERT_TRUE(cache.lookup("app/ic/16KB", values));
+        EXPECT_EQ(values, (std::vector<double>{123.0, 456.0}));
+        ASSERT_TRUE(cache.lookup("app/uc/128KB", values));
+        EXPECT_EQ(values, std::vector<double>{7.0});
+        EXPECT_EQ(cache.size(), 2u);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(EvaluationCache, SaveOnDestruction)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_eval_cache_dtor.db";
+    std::filesystem::remove(path);
+    {
+        EvaluationCache cache(path.string());
+        cache.store("x", {1.0});
+        // no explicit save()
+    }
+    EvaluationCache reloaded(path.string());
+    std::vector<double> values;
+    EXPECT_TRUE(reloaded.lookup("x", values));
+    std::filesystem::remove(path);
+}
+
+TEST(EvaluationCache, RoundTripPrecision)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_eval_cache_prec.db";
+    std::filesystem::remove(path);
+    double v = 1.0 / 3.0 * 1e17;
+    {
+        EvaluationCache cache(path.string());
+        cache.store("pi", {v});
+    }
+    EvaluationCache reloaded(path.string());
+    std::vector<double> values;
+    ASSERT_TRUE(reloaded.lookup("pi", values));
+    EXPECT_DOUBLE_EQ(values[0], v);
+    std::filesystem::remove(path);
+}
+
+TEST(EvaluationCache, MemoryOnlyNeverTouchesDisk)
+{
+    EvaluationCache cache;
+    cache.store("k", {1.0});
+    EXPECT_NO_THROW(cache.save());
+}
+
+} // namespace
+} // namespace pico::dse

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the execution engine: determinism, machine
+ * independence of the event trace, control-flow semantics (calls,
+ * loops, restarts), data-address patterns, and profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "trace/ExecutionEngine.hpp"
+#include "workloads/AppSpec.hpp"
+
+namespace pico::trace
+{
+namespace
+{
+
+struct BlockVisit
+{
+    uint32_t func;
+    uint32_t block;
+    std::vector<DataRef> data;
+};
+
+std::vector<BlockVisit>
+record(const ir::Program &prog, uint64_t max_blocks)
+{
+    std::vector<BlockVisit> out;
+    ExecutionEngine engine(prog);
+    engine.run(
+        [&out](uint32_t f, uint32_t b,
+               const std::vector<DataRef> &data) {
+            out.push_back({f, b, data});
+        },
+        max_blocks);
+    return out;
+}
+
+TEST(ExecutionEngine, RespectsBlockBudget)
+{
+    auto prog = workloads::buildProgram(workloads::AppSpec{});
+    ExecutionEngine engine(prog);
+    uint64_t n = engine.run(
+        [](uint32_t, uint32_t, const std::vector<DataRef> &) {},
+        1234);
+    EXPECT_EQ(n, 1234u);
+}
+
+TEST(ExecutionEngine, DeterministicAcrossRuns)
+{
+    auto prog = workloads::buildProgram(workloads::AppSpec{});
+    auto a = record(prog, 3000);
+    auto b = record(prog, 3000);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].func, b[i].func);
+        EXPECT_EQ(a[i].block, b[i].block);
+        ASSERT_EQ(a[i].data.size(), b[i].data.size());
+        for (size_t j = 0; j < a[i].data.size(); ++j)
+            EXPECT_EQ(a[i].data[j].addr, b[i].data[j].addr);
+    }
+}
+
+TEST(ExecutionEngine, StartsAtEntryBlock)
+{
+    auto prog = workloads::buildProgram(workloads::AppSpec{});
+    auto visits = record(prog, 10);
+    ASSERT_FALSE(visits.empty());
+    EXPECT_EQ(visits[0].func, prog.entryFunction);
+    EXPECT_EQ(visits[0].block, 0u);
+}
+
+TEST(ExecutionEngine, CallsEnterCalleeEntryAndReturn)
+{
+    // Build: f0 = [b0 calls f1, then falls to b1]; f1 = [b0, b1].
+    ir::Program prog;
+    prog.name = "calls";
+    prog.streams.push_back({});
+    ir::Operation alu;
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+
+    ir::Function f0;
+    f0.name = "f0";
+    ir::BasicBlock b0;
+    b0.ops = {alu, br};
+    b0.callee = 1;
+    b0.succs.push_back({1, 1.0});
+    ir::BasicBlock b1;
+    b1.ops = {alu, br};
+    f0.blocks = {b0, b1};
+
+    ir::Function f1;
+    f1.name = "f1";
+    ir::BasicBlock c0;
+    c0.ops = {alu, br};
+    c0.succs.push_back({1, 1.0});
+    ir::BasicBlock c1;
+    c1.ops = {alu, br};
+    f1.blocks = {c0, c1};
+
+    prog.functions = {f0, f1};
+    prog.finalize();
+
+    auto visits = record(prog, 4);
+    ASSERT_EQ(visits.size(), 4u);
+    // f0.b0, then callee f1 runs to completion, then f0's edge.
+    EXPECT_EQ(visits[0].func, 0u);
+    EXPECT_EQ(visits[0].block, 0u);
+    EXPECT_EQ(visits[1].func, 1u);
+    EXPECT_EQ(visits[1].block, 0u);
+    EXPECT_EQ(visits[2].func, 1u);
+    EXPECT_EQ(visits[2].block, 1u);
+    EXPECT_EQ(visits[3].func, 0u);
+    EXPECT_EQ(visits[3].block, 1u);
+}
+
+TEST(ExecutionEngine, RestartsAfterProgramCompletes)
+{
+    // Single function, single fall-through chain: after the last
+    // block the engine restarts at the entry.
+    ir::Program prog;
+    prog.name = "restart";
+    prog.streams.push_back({});
+    ir::Operation alu;
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+    ir::Function f;
+    f.name = "main";
+    ir::BasicBlock b0;
+    b0.ops = {alu, br};
+    b0.succs.push_back({1, 1.0});
+    ir::BasicBlock b1;
+    b1.ops = {alu, br};
+    f.blocks = {b0, b1};
+    prog.functions = {f};
+    prog.finalize();
+
+    auto visits = record(prog, 6);
+    std::vector<uint32_t> blocks;
+    for (const auto &v : visits)
+        blocks.push_back(v.block);
+    EXPECT_EQ(blocks, (std::vector<uint32_t>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(ExecutionEngine, SequentialStreamAdvances)
+{
+    ir::Program prog;
+    prog.name = "seq";
+    ir::DataStream stream;
+    stream.pattern = ir::AccessPattern::Sequential;
+    stream.sizeWords = 100;
+    prog.streams.push_back(stream);
+
+    ir::Operation load;
+    load.opClass = ir::OpClass::Memory;
+    load.memKind = ir::MemKind::Load;
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+    ir::Function f;
+    f.name = "main";
+    ir::BasicBlock b;
+    b.ops = {load, br};
+    f.blocks = {b};
+    prog.functions = {f};
+    prog.finalize();
+
+    auto visits = record(prog, 5);
+    uint64_t base = prog.streams[0].baseAddr;
+    for (size_t i = 0; i < visits.size(); ++i) {
+        ASSERT_EQ(visits[i].data.size(), 1u);
+        EXPECT_EQ(visits[i].data[0].addr, base + i * 4);
+        EXPECT_FALSE(visits[i].data[0].isStore);
+    }
+}
+
+TEST(ExecutionEngine, DataRefsCarryOpIndexAndStoreFlag)
+{
+    ir::Program prog;
+    prog.name = "refs";
+    ir::DataStream stream;
+    stream.sizeWords = 64;
+    prog.streams.push_back(stream);
+
+    ir::Operation load;
+    load.opClass = ir::OpClass::Memory;
+    load.memKind = ir::MemKind::Load;
+    ir::Operation store;
+    store.opClass = ir::OpClass::Memory;
+    store.memKind = ir::MemKind::Store;
+    ir::Operation alu;
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+
+    ir::Function f;
+    f.name = "main";
+    ir::BasicBlock b;
+    b.ops = {alu, load, alu, store, br};
+    f.blocks = {b};
+    prog.functions = {f};
+    prog.finalize();
+
+    auto visits = record(prog, 1);
+    ASSERT_EQ(visits[0].data.size(), 2u);
+    EXPECT_EQ(visits[0].data[0].opIndex, 1u);
+    EXPECT_FALSE(visits[0].data[0].isStore);
+    EXPECT_EQ(visits[0].data[1].opIndex, 3u);
+    EXPECT_TRUE(visits[0].data[1].isStore);
+}
+
+TEST(ExecutionEngine, LoopTripsFollowEdgeProbabilities)
+{
+    // A self-loop taken with probability 0.75 has mean 4 visits per
+    // entry.
+    ir::Program prog;
+    prog.name = "loop";
+    prog.streams.push_back({});
+    ir::Operation alu;
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+    ir::Function f;
+    f.name = "main";
+    ir::BasicBlock b0;
+    b0.ops = {alu, br};
+    b0.succs.push_back({0, 0.75});
+    b0.succs.push_back({1, 0.25});
+    ir::BasicBlock b1;
+    b1.ops = {alu, br};
+    f.blocks = {b0, b1};
+    prog.functions = {f};
+    prog.finalize();
+
+    auto visits = record(prog, 50000);
+    uint64_t loop_visits = 0, exit_visits = 0;
+    for (const auto &v : visits) {
+        if (v.block == 0)
+            ++loop_visits;
+        else
+            ++exit_visits;
+    }
+    double ratio = static_cast<double>(loop_visits) /
+                   static_cast<double>(exit_visits);
+    EXPECT_NEAR(ratio, 4.0, 0.3);
+}
+
+TEST(ExecutionEngine, ProfileCountsMatchEventTrace)
+{
+    auto prog = workloads::buildProgram(workloads::AppSpec{});
+    const uint64_t budget = 20000;
+    ExecutionEngine::profile(prog, budget);
+
+    std::map<std::pair<uint32_t, uint32_t>, uint64_t> counts;
+    for (const auto &v : record(prog, budget))
+        ++counts[{v.func, v.block}];
+
+    uint64_t total = 0;
+    for (size_t fi = 0; fi < prog.functions.size(); ++fi) {
+        for (size_t bi = 0; bi < prog.functions[fi].blocks.size();
+             ++bi) {
+            auto key = std::make_pair(static_cast<uint32_t>(fi),
+                                      static_cast<uint32_t>(bi));
+            uint64_t expect =
+                counts.count(key) ? counts.at(key) : 0;
+            EXPECT_EQ(prog.functions[fi].blocks[bi].profileCount,
+                      expect);
+            total += expect;
+        }
+    }
+    EXPECT_EQ(total, budget);
+}
+
+TEST(ExecutionEngine, RequiresFinalizedProgram)
+{
+    ir::Program prog;
+    prog.name = "raw";
+    EXPECT_THROW(ExecutionEngine engine(prog), FatalError);
+}
+
+} // namespace
+} // namespace pico::trace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the two-level hierarchy simulators: inclusion
+ * feasibility, the decoupled L2 property the paper relies on, the
+ * stall-cycle model, and coupled-vs-decoupled agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/CacheSim.hpp"
+#include "cache/Hierarchy.hpp"
+#include "support/Logging.hpp"
+#include "support/Random.hpp"
+
+namespace pico::cache
+{
+namespace
+{
+
+HierarchyConfig
+paperSmallConfig()
+{
+    HierarchyConfig cfg;
+    cfg.icache = CacheConfig::fromSize(1024, 1, 32);
+    cfg.dcache = CacheConfig::fromSize(1024, 1, 32);
+    cfg.ucache = CacheConfig::fromSize(16384, 2, 64);
+    return cfg;
+}
+
+std::vector<trace::Access>
+randomUnifiedTrace(int length, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<trace::Access> out;
+    uint64_t pc = 0x01000000;
+    for (int i = 0; i < length; ++i) {
+        trace::Access a;
+        if (rng.coin(0.7)) {
+            pc = rng.coin(0.1) ? 0x01000000 + (rng.below(1 << 14) & ~3ULL)
+                               : pc + 4;
+            a.addr = pc;
+            a.isInstr = true;
+        } else {
+            a.addr = 0x40000000 + (rng.below(1 << 16) & ~3ULL);
+            a.isWrite = rng.coin(0.3);
+        }
+        out.push_back(a);
+    }
+    return out;
+}
+
+TEST(HierarchyConfig, InclusionFeasibility)
+{
+    auto cfg = paperSmallConfig();
+    EXPECT_TRUE(cfg.inclusionFeasible());
+
+    cfg.ucache = CacheConfig::fromSize(512, 1, 64);
+    EXPECT_FALSE(cfg.inclusionFeasible()); // smaller than L1
+
+    cfg = paperSmallConfig();
+    cfg.ucache = CacheConfig::fromSize(16384, 2, 16);
+    EXPECT_FALSE(cfg.inclusionFeasible()); // shorter lines than L1
+}
+
+TEST(HierarchySim, RejectsInfeasibleConfig)
+{
+    auto cfg = paperSmallConfig();
+    cfg.ucache = CacheConfig::fromSize(512, 1, 64);
+    EXPECT_THROW(HierarchySim sim(cfg), FatalError);
+}
+
+TEST(HierarchySim, RoutesAccessesByKind)
+{
+    HierarchySim sim(paperSmallConfig());
+    sim.access({0x01000000, true, false});
+    sim.access({0x40000000, false, false});
+    sim.access({0x40000004, false, true});
+    auto stats = sim.stats();
+    EXPECT_EQ(stats.iAccesses, 1u);
+    EXPECT_EQ(stats.dAccesses, 2u);
+    // Decoupled L2 sees everything.
+    EXPECT_EQ(stats.uAccesses, 3u);
+}
+
+TEST(HierarchySim, L2MissesIndependentOfL1Config)
+{
+    // The decoupling property: changing the L1s does not change L2
+    // misses at all (the paper's justification for evaluating the
+    // unified cache with the full trace).
+    auto trace = randomUnifiedTrace(40000, 5);
+
+    auto small = paperSmallConfig();
+    auto big = paperSmallConfig();
+    big.icache = CacheConfig::fromSize(16384, 2, 32);
+    big.dcache = CacheConfig::fromSize(16384, 2, 32);
+
+    HierarchySim a(small), b(big);
+    for (const auto &acc : trace) {
+        a.access(acc);
+        b.access(acc);
+    }
+    EXPECT_EQ(a.stats().uMisses, b.stats().uMisses);
+    EXPECT_NE(a.stats().iMisses, b.stats().iMisses);
+}
+
+TEST(HierarchyStats, StallCycleModel)
+{
+    HierarchyConfig cfg = paperSmallConfig();
+    cfg.l2HitLatency = 10;
+    cfg.memoryLatency = 80;
+    HierarchyStats s;
+    s.iMisses = 100;
+    s.dMisses = 50;
+    s.uMisses = 20;
+    EXPECT_EQ(s.stallCycles(cfg), 150u * 10u + 20u * 80u);
+}
+
+TEST(CoupledHierarchySim, L2SeesOnlyL1Misses)
+{
+    CoupledHierarchySim sim(paperSmallConfig());
+    // Two accesses to the same line: second hits L1, never reaches
+    // L2.
+    sim.access({0x01000000, true, false});
+    sim.access({0x01000004, true, false});
+    auto s = sim.stats();
+    EXPECT_EQ(s.iAccesses, 2u);
+    EXPECT_EQ(s.uAccesses, 1u);
+}
+
+TEST(CoupledHierarchySim, InclusionMaintained)
+{
+    // After any trace, every L1-resident line must hit in an L2
+    // probe. Verify via the decoupling of miss counts: re-accessing
+    // an address that just hit L1 must not increase L2 misses.
+    CoupledHierarchySim sim(paperSmallConfig());
+    auto trace = randomUnifiedTrace(30000, 17);
+    for (const auto &acc : trace)
+        sim.access(acc);
+    auto before = sim.stats();
+    // Replay the last few accesses: L1 hits, no new L2 traffic from
+    // instruction fetches that stayed resident.
+    sim.access(trace.back());
+    auto after = sim.stats();
+    EXPECT_LE(after.uMisses, before.uMisses + 1);
+}
+
+TEST(CoupledHierarchySim, CloseToDecoupledL2Misses)
+{
+    // The paper's approximation: with inclusion, L2 misses from the
+    // filtered stream stay close to full-trace simulation.
+    auto trace = randomUnifiedTrace(60000, 23);
+    HierarchySim full(paperSmallConfig());
+    CoupledHierarchySim coupled(paperSmallConfig());
+    for (const auto &acc : trace) {
+        full.access(acc);
+        coupled.access(acc);
+    }
+    double a = static_cast<double>(full.stats().uMisses);
+    double b = static_cast<double>(coupled.stats().uMisses);
+    ASSERT_GT(a, 0.0);
+    EXPECT_NEAR(b / a, 1.0, 0.15);
+}
+
+TEST(HierarchyConfig, AreaIsSumOfParts)
+{
+    auto cfg = paperSmallConfig();
+    EXPECT_DOUBLE_EQ(cfg.areaCost(),
+                     cfg.icache.areaCost() + cfg.dcache.areaCost() +
+                         cfg.ucache.areaCost());
+}
+
+} // namespace
+} // namespace pico::cache

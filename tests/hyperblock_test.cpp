@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for hyperblock formation (if-conversion), predicated machine
+ * descriptions, their instruction formats, and the trace-equivalence
+ * machinery they feed (section 4.1: one reference processor per
+ * predication/speculation combination).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/Hyperblock.hpp"
+#include "isa/InstructionFormat.hpp"
+#include "machine/MachineDesc.hpp"
+#include "trace/ExecutionEngine.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico::compiler
+{
+namespace
+{
+
+using machine::MachineDesc;
+
+/** A function with one triangle: b0 -> {b1, b2}, b1 -> b2. */
+ir::Program
+triangleProgram()
+{
+    ir::Program prog;
+    prog.name = "triangle";
+    prog.streams.push_back({});
+
+    ir::Operation alu;
+    ir::Operation load;
+    load.opClass = ir::OpClass::Memory;
+    load.memKind = ir::MemKind::Load;
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+
+    ir::Function f;
+    f.name = "main";
+    ir::BasicBlock b0;
+    b0.ops = {alu, alu, br};
+    b0.succs = {{1, 0.6}, {2, 0.4}};
+    ir::BasicBlock b1;
+    b1.ops = {load, alu, br};
+    b1.succs = {{2, 1.0}};
+    ir::BasicBlock b2;
+    b2.ops = {alu, br};
+    f.blocks = {b0, b1, b2};
+    prog.functions = {f};
+    prog.finalize();
+    return prog;
+}
+
+TEST(Hyperblock, MergesSimpleTriangle)
+{
+    auto prog = triangleProgram();
+    HyperblockStats stats;
+    auto converted = formHyperblocks(prog, &stats);
+
+    EXPECT_EQ(stats.merged, 1u);
+    EXPECT_EQ(stats.predicatedOps, 2u); // load + alu from b1
+    ASSERT_EQ(converted.functions[0].blocks.size(), 2u);
+
+    const auto &merged = converted.functions[0].blocks[0];
+    // b0's body (2 ops) + b1's body (2 predicated) + 1 branch.
+    EXPECT_EQ(merged.ops.size(), 5u);
+    EXPECT_TRUE(merged.ops[2].predicated);
+    EXPECT_TRUE(merged.ops[3].predicated);
+    EXPECT_FALSE(merged.ops[0].predicated);
+    // Unconditional fall-through to the (renumbered) join block.
+    ASSERT_EQ(merged.succs.size(), 1u);
+    EXPECT_EQ(merged.succs[0].target, 1u);
+    EXPECT_DOUBLE_EQ(merged.succs[0].prob, 1.0);
+}
+
+TEST(Hyperblock, SourceProgramUntouched)
+{
+    auto prog = triangleProgram();
+    auto converted = formHyperblocks(prog);
+    EXPECT_EQ(prog.functions[0].blocks.size(), 3u);
+    EXPECT_EQ(converted.functions[0].blocks.size(), 2u);
+}
+
+TEST(Hyperblock, SkipsLoops)
+{
+    auto prog = triangleProgram();
+    // Make b1 a loop tail instead of a pure fall-through.
+    prog.functions[0].blocks[1].succs = {{0, 0.5}, {2, 0.5}};
+    prog.finalize();
+    HyperblockStats stats;
+    formHyperblocks(prog, &stats);
+    EXPECT_EQ(stats.merged, 0u);
+}
+
+TEST(Hyperblock, SkipsCallBlocks)
+{
+    auto prog = triangleProgram();
+    ir::Function callee;
+    callee.name = "leaf";
+    ir::BasicBlock cb;
+    ir::Operation alu;
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+    cb.ops = {alu, br};
+    callee.blocks = {cb};
+    prog.functions.push_back(callee);
+    prog.functions[0].blocks[1].callee = 1;
+    prog.finalize();
+    HyperblockStats stats;
+    formHyperblocks(prog, &stats);
+    EXPECT_EQ(stats.merged, 0u);
+}
+
+TEST(Hyperblock, PredicatedTraceHasFewerBlockEntries)
+{
+    // After if-conversion, the same execution covers fewer, larger
+    // blocks; predicated bodies always execute.
+    auto spec = workloads::specByName("085.gcc");
+    auto base = workloads::buildProgram(spec);
+    HyperblockStats stats;
+    auto converted = formHyperblocks(base, &stats);
+    EXPECT_GT(stats.merged, 0u);
+    EXPECT_LT(converted.totalBlocks(), base.totalBlocks());
+    // Operations are conserved minus one branch per merge.
+    EXPECT_EQ(converted.totalOperations(),
+              base.totalOperations() - stats.merged);
+}
+
+TEST(Hyperblock, ConvertedProgramExecutes)
+{
+    auto spec = workloads::specByName("epic");
+    auto base = workloads::buildProgram(spec);
+    auto converted = formHyperblocks(base);
+    trace::ExecutionEngine engine(converted);
+    uint64_t n = engine.run(
+        [](uint32_t, uint32_t, const std::vector<trace::DataRef> &) {
+        },
+        5000);
+    EXPECT_EQ(n, 5000u);
+}
+
+TEST(PredicatedMachine, NameRoundTrip)
+{
+    auto m = MachineDesc::fromName("3221p");
+    EXPECT_GT(m.predRegs, 0u);
+    EXPECT_EQ(m.name(), "3221p");
+    EXPECT_EQ(m.issueWidth(), 8u);
+    auto plain = MachineDesc::fromName("3221");
+    EXPECT_EQ(plain.predRegs, 0u);
+}
+
+TEST(PredicatedMachine, NotTraceEquivalentToUnpredicated)
+{
+    auto a = MachineDesc::fromName("1111");
+    auto b = MachineDesc::fromName("1111p");
+    EXPECT_FALSE(a.traceEquivalent(b));
+    EXPECT_TRUE(b.traceEquivalent(MachineDesc::fromName("6332p")));
+}
+
+TEST(PredicatedMachine, GuardBitsWidenOperandFields)
+{
+    isa::InstructionFormat plain(MachineDesc::fromName("2111"));
+    isa::InstructionFormat pred(MachineDesc::fromName("2111p"));
+    EXPECT_GT(pred.opFieldBits(ir::OpClass::IntAlu),
+              plain.opFieldBits(ir::OpClass::IntAlu));
+}
+
+TEST(PredicatedMachine, ProgramForClassConverts)
+{
+    auto spec = workloads::specByName("rasta");
+    auto base = workloads::buildAndProfile(spec, 5000);
+    auto same = workloads::programForClass(
+        base, MachineDesc::fromName("1111"), 5000);
+    EXPECT_EQ(same.totalBlocks(), base.totalBlocks());
+    auto conv = workloads::programForClass(
+        base, MachineDesc::fromName("1111p"), 5000);
+    EXPECT_LT(conv.totalBlocks(), base.totalBlocks());
+    // The converted program must carry fresh profile counts.
+    uint64_t total = 0;
+    for (const auto &func : conv.functions)
+        for (const auto &block : func.blocks)
+            total += block.profileCount;
+    EXPECT_EQ(total, 5000u);
+}
+
+TEST(PredicatedMachine, ReducesDynamicBranchDensity)
+{
+    // If-conversion removes one branch per merged triangle, so the
+    // predicated program executes fewer branches per operation.
+    auto spec = workloads::specByName("085.gcc");
+    auto base = workloads::buildAndProfile(spec, 10000);
+    auto conv = workloads::programForClass(
+        base, MachineDesc::fromName("1111p"), 10000);
+
+    auto branch_density = [](const ir::Program &prog) {
+        double branches = 0.0, ops = 0.0;
+        for (const auto &func : prog.functions) {
+            for (const auto &block : func.blocks) {
+                auto count =
+                    static_cast<double>(block.profileCount);
+                for (const auto &op : block.ops) {
+                    ops += count;
+                    if (op.isBranch())
+                        branches += count;
+                }
+            }
+        }
+        return branches / ops;
+    };
+    EXPECT_LT(branch_density(conv), branch_density(base));
+}
+
+} // namespace
+} // namespace pico::compiler

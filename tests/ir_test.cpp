@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the IR: program validation, finalize() derived
+ * fields, and the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/Program.hpp"
+#include "support/Logging.hpp"
+#include "workloads/AppSpec.hpp"
+
+namespace pico
+{
+namespace
+{
+
+ir::Program
+tinyProgram()
+{
+    ir::Program prog;
+    prog.name = "tiny";
+    prog.streams.push_back({});
+
+    ir::Function func;
+    func.name = "main";
+
+    ir::BasicBlock b0;
+    ir::Operation load;
+    load.opClass = ir::OpClass::Memory;
+    load.memKind = ir::MemKind::Load;
+    load.streamId = 0;
+    b0.ops.push_back(load);
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+    b0.ops.push_back(br);
+    b0.succs.push_back({1, 0.7});
+    b0.succs.push_back({0, 0.3});
+
+    ir::BasicBlock b1;
+    ir::Operation alu;
+    b1.ops.push_back(alu);
+    b1.ops.push_back(br);
+
+    func.blocks.push_back(b0);
+    func.blocks.push_back(b1);
+    prog.functions.push_back(func);
+    return prog;
+}
+
+TEST(Program, FinalizeAssignsStreamAddresses)
+{
+    auto prog = tinyProgram();
+    prog.streams.push_back({});
+    prog.finalize();
+    EXPECT_EQ(prog.streams[0].baseAddr, ir::Program::dataBase);
+    EXPECT_GT(prog.streams[1].baseAddr, prog.streams[0].baseAddr);
+    // Regions must not overlap.
+    EXPECT_GE(prog.streams[1].baseAddr,
+              prog.streams[0].baseAddr +
+                  prog.streams[0].sizeWords * 4);
+    EXPECT_TRUE(prog.finalized());
+}
+
+TEST(Program, FinalizeMarksBranchTargets)
+{
+    auto prog = tinyProgram();
+    prog.finalize();
+    const auto &blocks = prog.functions[0].blocks;
+    // Entry block is always a branch target; block 0 is also the
+    // target of the loop back edge.
+    EXPECT_TRUE(blocks[0].isBranchTarget);
+    // Block 1 is only reached by fall-through.
+    EXPECT_FALSE(blocks[1].isBranchTarget);
+}
+
+TEST(Program, FinalizeRejectsBadEdgeProbabilities)
+{
+    auto prog = tinyProgram();
+    prog.functions[0].blocks[0].succs[0].prob = 0.5; // sums to 0.8
+    EXPECT_THROW(prog.finalize(), FatalError);
+}
+
+TEST(Program, FinalizeRejectsOutOfRangeTargets)
+{
+    auto prog = tinyProgram();
+    prog.functions[0].blocks[0].succs[0].target = 9;
+    EXPECT_THROW(prog.finalize(), FatalError);
+}
+
+TEST(Program, FinalizeRejectsForwardDependences)
+{
+    auto prog = tinyProgram();
+    prog.functions[0].blocks[0].ops[0].deps.push_back(5);
+    EXPECT_THROW(prog.finalize(), FatalError);
+}
+
+TEST(Program, FinalizeRejectsEmptyProgram)
+{
+    ir::Program prog;
+    EXPECT_THROW(prog.finalize(), FatalError);
+}
+
+TEST(Program, FinalizeRejectsUnknownStream)
+{
+    auto prog = tinyProgram();
+    prog.functions[0].blocks[0].ops[0].streamId = 42;
+    EXPECT_THROW(prog.finalize(), FatalError);
+}
+
+TEST(Program, Counters)
+{
+    auto prog = tinyProgram();
+    prog.finalize();
+    EXPECT_EQ(prog.totalBlocks(), 2u);
+    EXPECT_EQ(prog.totalOperations(), 4u);
+}
+
+TEST(Generator, DeterministicForSameSpec)
+{
+    workloads::AppSpec spec;
+    spec.seed = 404;
+    auto a = workloads::buildProgram(spec);
+    auto b = workloads::buildProgram(spec);
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    EXPECT_EQ(a.totalOperations(), b.totalOperations());
+    for (size_t f = 0; f < a.functions.size(); ++f) {
+        ASSERT_EQ(a.functions[f].blocks.size(),
+                  b.functions[f].blocks.size());
+    }
+}
+
+TEST(Generator, RespectsStructuralKnobs)
+{
+    workloads::AppSpec spec;
+    spec.numFunctions = 7;
+    spec.minBlocksPerFunction = 4;
+    spec.maxBlocksPerFunction = 6;
+    spec.minOpsPerBlock = 3;
+    spec.maxOpsPerBlock = 5;
+    auto prog = workloads::buildProgram(spec);
+    EXPECT_EQ(prog.functions.size(), 7u);
+    for (const auto &func : prog.functions) {
+        EXPECT_GE(func.blocks.size(), 4u);
+        EXPECT_LE(func.blocks.size(), 6u);
+        for (const auto &block : func.blocks) {
+            EXPECT_GE(block.ops.size(), 3u);
+            EXPECT_LE(block.ops.size(), 5u);
+            // Every block ends in a control operation.
+            EXPECT_TRUE(block.ops.back().isBranch());
+        }
+    }
+}
+
+TEST(Generator, CallGraphIsAcyclic)
+{
+    workloads::AppSpec spec;
+    spec.callProb = 0.9;
+    spec.numFunctions = 20;
+    auto prog = workloads::buildProgram(spec);
+    for (size_t f = 0; f < prog.functions.size(); ++f) {
+        for (const auto &block : prog.functions[f].blocks) {
+            if (block.callee >= 0) {
+                EXPECT_GT(static_cast<size_t>(block.callee), f);
+            }
+        }
+    }
+}
+
+TEST(Generator, PaperSuiteHasTenNamedApps)
+{
+    auto suite = workloads::paperSuite();
+    ASSERT_EQ(suite.size(), 10u);
+    EXPECT_EQ(suite[0].name, "085.gcc");
+    EXPECT_NO_THROW(workloads::specByName("ghostscript"));
+    EXPECT_THROW(workloads::specByName("nonesuch"), FatalError);
+}
+
+TEST(Generator, SuiteProgramsBuildAndFinalize)
+{
+    for (const auto &spec : workloads::paperSuite()) {
+        auto prog = workloads::buildProgram(spec);
+        EXPECT_TRUE(prog.finalized()) << spec.name;
+        EXPECT_GT(prog.totalOperations(), 100u) << spec.name;
+    }
+}
+
+} // namespace
+} // namespace pico

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for instruction-format synthesis and the greedy
+ * template-selection assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/Scheduler.hpp"
+#include "isa/Assembler.hpp"
+#include "isa/InstructionFormat.hpp"
+#include "workloads/AppSpec.hpp"
+
+namespace pico::isa
+{
+namespace
+{
+
+using machine::MachineDesc;
+
+TEST(InstructionFormat, TemplatesSortedAndQuantized)
+{
+    for (const char *name : {"1111", "2111", "3221", "4221", "6332"}) {
+        InstructionFormat fmt(MachineDesc::fromName(name));
+        ASSERT_GE(fmt.templates().size(), 3u) << name;
+        uint32_t prev = 0;
+        for (const auto &t : fmt.templates()) {
+            EXPECT_EQ(t.bits % InstructionFormat::quantumBits, 0u);
+            EXPECT_GE(t.bits, prev) << name;
+            prev = t.bits;
+        }
+    }
+}
+
+TEST(InstructionFormat, FullTemplateMatchesFuMix)
+{
+    auto mdes = MachineDesc::fromName("6332");
+    InstructionFormat fmt(mdes);
+    const auto &full = fmt.templates().back();
+    EXPECT_EQ(full.name, "full");
+    for (unsigned c = 0; c < machine::numOpClasses; ++c)
+        EXPECT_EQ(full.typedSlots[c], mdes.fuCount[c]);
+    EXPECT_EQ(full.capacity(), 14u);
+}
+
+TEST(InstructionFormat, OperandFieldsGrowWithRegisterFiles)
+{
+    InstructionFormat narrow(MachineDesc::fromName("1111"));
+    InstructionFormat wide(MachineDesc::fromName("6332"));
+    EXPECT_GT(wide.opFieldBits(ir::OpClass::IntAlu),
+              narrow.opFieldBits(ir::OpClass::IntAlu));
+}
+
+TEST(InstructionFormat, FetchPacketPowerOfTwoAndCoversFull)
+{
+    for (const char *name : {"1111", "2111", "6332"}) {
+        InstructionFormat fmt(MachineDesc::fromName(name));
+        uint32_t packet = fmt.fetchPacketBytes();
+        EXPECT_EQ(packet & (packet - 1), 0u) << name;
+        EXPECT_GE(packet, fmt.templates().back().bytes()) << name;
+    }
+}
+
+TEST(Template, FitsCountsTypedThenGeneric)
+{
+    Template t;
+    t.typedSlots = {2, 1, 1, 1};
+    t.genericSlots = 1;
+    // 2 int + 1 float fits directly.
+    EXPECT_TRUE(t.fits({2, 1, 0, 0}));
+    // 3 int: one overflows into the generic slot.
+    EXPECT_TRUE(t.fits({3, 0, 0, 0}));
+    // 4 int: two overflow, one generic slot.
+    EXPECT_FALSE(t.fits({4, 0, 0, 0}));
+    // Overflow from several classes shares the generic pool.
+    EXPECT_FALSE(t.fits({3, 2, 0, 0}));
+}
+
+compiler::VliwInst
+instWithOps(std::initializer_list<ir::OpClass> classes)
+{
+    compiler::VliwInst inst;
+    for (auto cls : classes) {
+        compiler::ScheduledOp op;
+        op.opClass = cls;
+        inst.ops.push_back(op);
+    }
+    return inst;
+}
+
+TEST(Assembler, SelectsSmallestFittingTemplate)
+{
+    InstructionFormat fmt(MachineDesc::fromName("6332"));
+    Assembler assembler(fmt);
+
+    auto one = instWithOps({ir::OpClass::IntAlu});
+    size_t t1 = assembler.selectTemplate(one, 0);
+    EXPECT_EQ(fmt.templates()[t1].name, "compact");
+
+    auto two = instWithOps({ir::OpClass::IntAlu,
+                            ir::OpClass::Memory});
+    size_t t2 = assembler.selectTemplate(two, 0);
+    EXPECT_EQ(fmt.templates()[t2].name, "pair");
+
+    auto many = instWithOps(
+        {ir::OpClass::IntAlu, ir::OpClass::IntAlu,
+         ir::OpClass::IntAlu, ir::OpClass::FloatAlu,
+         ir::OpClass::Memory, ir::OpClass::Memory,
+         ir::OpClass::Branch});
+    size_t tmany = assembler.selectTemplate(many, 0);
+    EXPECT_EQ(fmt.templates()[tmany].name, "half");
+}
+
+TEST(Assembler, ClassMismatchForcesBiggerTemplate)
+{
+    // 3221 half template has 2 int slots; 3 int ops exceed the
+    // generic headroom and must escalate to full.
+    InstructionFormat fmt(MachineDesc::fromName("3221"));
+    Assembler assembler(fmt);
+    auto three_int = instWithOps({ir::OpClass::IntAlu,
+                                  ir::OpClass::IntAlu,
+                                  ir::OpClass::IntAlu});
+    size_t t = assembler.selectTemplate(three_int, 0);
+    EXPECT_EQ(fmt.templates()[t].name, "full");
+}
+
+TEST(Assembler, MultiNopAbsorbsTrailingEmptyCycles)
+{
+    InstructionFormat fmt(MachineDesc::fromName("1111"));
+    Assembler assembler(fmt);
+
+    compiler::ScheduledBlock block;
+    block.insts.push_back(instWithOps({ir::OpClass::IntAlu}));
+    // Three empty cycles: free via the multi-no-op field.
+    block.insts.push_back({});
+    block.insts.push_back({});
+    block.insts.push_back({});
+    auto with_nops = assembler.assembleBlock(block, false);
+
+    compiler::ScheduledBlock plain;
+    plain.insts.push_back(instWithOps({ir::OpClass::IntAlu}));
+    auto without = assembler.assembleBlock(plain, false);
+
+    EXPECT_EQ(with_nops.sizeBytes, without.sizeBytes);
+}
+
+TEST(Assembler, ExcessNopsCostExplicitInstructions)
+{
+    InstructionFormat fmt(MachineDesc::fromName("1111"));
+    Assembler assembler(fmt);
+    compiler::ScheduledBlock block;
+    block.insts.push_back(instWithOps({ir::OpClass::IntAlu}));
+    for (int i = 0; i < 5; ++i)
+        block.insts.push_back({}); // 3 free + 2 explicit
+    auto out = assembler.assembleBlock(block, false);
+    uint32_t nop_bytes = fmt.templates().front().bytes();
+    compiler::ScheduledBlock plain;
+    plain.insts.push_back(instWithOps({ir::OpClass::IntAlu}));
+    auto base = assembler.assembleBlock(plain, false);
+    EXPECT_EQ(out.sizeBytes, base.sizeBytes + 2 * nop_bytes);
+}
+
+TEST(Assembler, LeadingNopsAreExplicit)
+{
+    InstructionFormat fmt(MachineDesc::fromName("1111"));
+    Assembler assembler(fmt);
+    compiler::ScheduledBlock block;
+    block.insts.push_back({});
+    block.insts.push_back(instWithOps({ir::OpClass::IntAlu}));
+    auto out = assembler.assembleBlock(block, false);
+    EXPECT_EQ(out.encodedInsts, 2u);
+}
+
+TEST(Assembler, WholeProgramObjectParallelsIr)
+{
+    workloads::AppSpec spec;
+    spec.seed = 11;
+    auto prog = workloads::buildProgram(spec);
+    compiler::Scheduler sched;
+    auto mdes = MachineDesc::fromName("2111");
+    auto sp = sched.schedule(prog, mdes);
+    InstructionFormat fmt(mdes);
+    Assembler assembler(fmt);
+    auto object = assembler.assemble(prog, sp);
+
+    ASSERT_EQ(object.functions.size(), prog.functions.size());
+    EXPECT_EQ(object.machineName, "2111");
+    for (size_t f = 0; f < object.functions.size(); ++f) {
+        ASSERT_EQ(object.functions[f].blocks.size(),
+                  prog.functions[f].blocks.size());
+        for (const auto &blk : object.functions[f].blocks) {
+            EXPECT_GT(blk.sizeBytes, 0u);
+            EXPECT_EQ(blk.sizeBytes % 4, 0u);
+        }
+    }
+    EXPECT_GT(object.rawTextSize(), 0u);
+}
+
+TEST(Assembler, BranchTargetFlagPropagates)
+{
+    workloads::AppSpec spec;
+    spec.seed = 12;
+    auto prog = workloads::buildProgram(spec);
+    compiler::Scheduler sched;
+    auto mdes = MachineDesc::fromName("1111");
+    auto sp = sched.schedule(prog, mdes);
+    InstructionFormat fmt(mdes);
+    Assembler assembler(fmt);
+    auto object = assembler.assemble(prog, sp);
+    for (size_t f = 0; f < object.functions.size(); ++f) {
+        for (size_t b = 0; b < object.functions[f].blocks.size();
+             ++b) {
+            EXPECT_EQ(object.functions[f].blocks[b].isBranchTarget,
+                      prog.functions[f].blocks[b].isBranchTarget);
+        }
+    }
+}
+
+} // namespace
+} // namespace pico::isa

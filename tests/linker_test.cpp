@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the linker: layout, alignment, address assignment,
+ * and text-dilation measurement across the paper's machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/Assembler.hpp"
+#include "isa/InstructionFormat.hpp"
+#include "linker/Linker.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico::linker
+{
+namespace
+{
+
+using machine::MachineDesc;
+
+isa::ObjectFile
+tinyObject()
+{
+    isa::ObjectFile object;
+    object.machineName = "1111";
+    object.fetchPacketBytes = 16;
+
+    isa::ObjectFunction hot;
+    hot.name = "hot";
+    hot.callCount = 100;
+    hot.blocks.push_back({24, true, 3});   // entry
+    hot.blocks.push_back({12, false, 2});  // fall-through
+    hot.blocks.push_back({20, true, 2});   // branch target
+
+    isa::ObjectFunction cold;
+    cold.name = "cold";
+    cold.callCount = 1;
+    cold.blocks.push_back({40, true, 4});
+
+    object.functions.push_back(cold); // cold first in object order
+    object.functions.push_back(hot);
+    return object;
+}
+
+TEST(Linker, HotFunctionsPlacedFirst)
+{
+    Linker linker;
+    auto bin = linker.link(tinyObject());
+    // Function 1 ("hot") must start at the text base, ahead of the
+    // colder function 0.
+    EXPECT_EQ(bin.block(1, 0).startAddr, LinkedBinary::textBase);
+    EXPECT_GT(bin.block(0, 0).startAddr, bin.block(1, 2).startAddr);
+}
+
+TEST(Linker, LayoutOrderPreservedWithoutProfiles)
+{
+    LinkerOptions opts;
+    opts.profileGuidedLayout = false;
+    Linker linker(opts);
+    auto bin = linker.link(tinyObject());
+    EXPECT_EQ(bin.block(0, 0).startAddr, LinkedBinary::textBase);
+}
+
+TEST(Linker, BranchTargetsPacketAligned)
+{
+    Linker linker;
+    auto bin = linker.link(tinyObject());
+    for (uint32_t f = 0; f < 2; ++f) {
+        for (uint32_t b = 0; b < bin.numBlocks(f); ++b) {
+            // Block 1 of "hot" is a pure fall-through block.
+            if (f == 1 && b == 1)
+                continue;
+            EXPECT_EQ(bin.block(f, b).startAddr % 16, 0u)
+                << "f=" << f << " b=" << b;
+        }
+    }
+}
+
+TEST(Linker, FallThroughBlocksContiguous)
+{
+    Linker linker;
+    auto bin = linker.link(tinyObject());
+    // hot block 1 follows hot block 0 with no padding.
+    EXPECT_EQ(bin.block(1, 1).startAddr,
+              bin.block(1, 0).startAddr + bin.block(1, 0).sizeBytes);
+}
+
+TEST(Linker, TextSizeIncludesPadding)
+{
+    Linker linker;
+    auto object = tinyObject();
+    auto bin = linker.link(object);
+    EXPECT_GE(bin.textSize(), object.rawTextSize());
+}
+
+TEST(Linker, AlignmentOffIsDenser)
+{
+    auto object = tinyObject();
+    Linker aligned;
+    LinkerOptions loose_opts;
+    loose_opts.alignBranchTargets = false;
+    Linker loose(loose_opts);
+    EXPECT_LE(loose.link(object).textSize(),
+              aligned.link(object).textSize());
+}
+
+TEST(Linker, RejectsEmptyObject)
+{
+    Linker linker;
+    isa::ObjectFile object;
+    object.fetchPacketBytes = 16;
+    EXPECT_THROW(linker.link(object), FatalError);
+}
+
+TEST(TextDilation, UnityAgainstItself)
+{
+    workloads::AppSpec spec;
+    spec.seed = 500;
+    auto prog = workloads::buildAndProfile(spec, 10000);
+    auto build = workloads::buildFor(prog,
+                                     MachineDesc::fromName("1111"));
+    EXPECT_DOUBLE_EQ(textDilation(build.bin, build.bin), 1.0);
+}
+
+TEST(TextDilation, GrowsWithIssueWidth)
+{
+    // The paper's table 3 regime: wider machines have monotonically
+    // larger text, with 2111 modest and 6332 the largest.
+    workloads::AppSpec spec;
+    spec.seed = 501;
+    auto prog = workloads::buildAndProfile(spec, 10000);
+    auto ref = workloads::buildFor(prog, MachineDesc::fromName("1111"));
+    double prev = 1.0;
+    for (const char *name : {"2111", "3221", "4221", "6332"}) {
+        auto build = workloads::buildFor(prog,
+                                         MachineDesc::fromName(name));
+        double d = textDilation(build.bin, ref.bin);
+        EXPECT_GT(d, prev * 0.98) << name;
+        EXPECT_GT(d, 1.0) << name;
+        prev = d;
+    }
+}
+
+TEST(TextDilation, InPaperRange)
+{
+    // Table 3: dilations fall in roughly [1.2, 3.4].
+    workloads::AppSpec spec;
+    spec.seed = 502;
+    auto prog = workloads::buildAndProfile(spec, 10000);
+    auto ref = workloads::buildFor(prog, MachineDesc::fromName("1111"));
+    auto narrow = workloads::buildFor(prog,
+                                      MachineDesc::fromName("2111"));
+    auto wide = workloads::buildFor(prog,
+                                    MachineDesc::fromName("6332"));
+    double d2111 = textDilation(narrow.bin, ref.bin);
+    double d6332 = textDilation(wide.bin, ref.bin);
+    EXPECT_GT(d2111, 1.05);
+    EXPECT_LT(d2111, 2.2);
+    EXPECT_GT(d6332, 1.8);
+    EXPECT_LT(d6332, 4.2);
+}
+
+TEST(LinkedBinary, BlockAddressesWithinText)
+{
+    workloads::AppSpec spec;
+    spec.seed = 503;
+    auto prog = workloads::buildAndProfile(spec, 5000);
+    auto build = workloads::buildFor(prog,
+                                     MachineDesc::fromName("3221"));
+    const auto &bin = build.bin;
+    uint64_t end = LinkedBinary::textBase + bin.textSize();
+    for (uint32_t f = 0; f < bin.numFunctions(); ++f) {
+        for (uint32_t b = 0; b < bin.numBlocks(f); ++b) {
+            const auto &placed = bin.block(f, b);
+            EXPECT_GE(placed.startAddr, LinkedBinary::textBase);
+            EXPECT_LE(placed.startAddr + placed.sizeBytes, end);
+        }
+    }
+}
+
+TEST(LinkedBinary, NoBlockOverlap)
+{
+    workloads::AppSpec spec;
+    spec.seed = 504;
+    spec.numFunctions = 8;
+    auto prog = workloads::buildAndProfile(spec, 5000);
+    auto build = workloads::buildFor(prog,
+                                     MachineDesc::fromName("1111"));
+    const auto &bin = build.bin;
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    for (uint32_t f = 0; f < bin.numFunctions(); ++f) {
+        for (uint32_t b = 0; b < bin.numBlocks(f); ++b) {
+            const auto &placed = bin.block(f, b);
+            ranges.emplace_back(placed.startAddr,
+                                placed.startAddr + placed.sizeBytes);
+        }
+    }
+    std::sort(ranges.begin(), ranges.end());
+    for (size_t i = 1; i < ranges.size(); ++i)
+        EXPECT_LE(ranges[i - 1].second, ranges[i].first);
+}
+
+} // namespace
+} // namespace pico::linker

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the VLIW machine description.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/MachineDesc.hpp"
+#include "support/Logging.hpp"
+
+namespace pico::machine
+{
+namespace
+{
+
+TEST(MachineDesc, FromNameParsesDigits)
+{
+    auto m = MachineDesc::fromName("6332");
+    EXPECT_EQ(m.slots(ir::OpClass::IntAlu), 6u);
+    EXPECT_EQ(m.slots(ir::OpClass::FloatAlu), 3u);
+    EXPECT_EQ(m.slots(ir::OpClass::Memory), 3u);
+    EXPECT_EQ(m.slots(ir::OpClass::Branch), 2u);
+    EXPECT_EQ(m.issueWidth(), 14u);
+    EXPECT_EQ(m.name(), "6332");
+}
+
+TEST(MachineDesc, PaperIssueWidths)
+{
+    // Section 6: reference issues up to 4; targets 5, 8, 9, 14.
+    EXPECT_EQ(referenceMachine().issueWidth(), 4u);
+    auto targets = paperTargetMachines();
+    EXPECT_EQ(targets[0].issueWidth(), 5u);
+    EXPECT_EQ(targets[1].issueWidth(), 8u);
+    EXPECT_EQ(targets[2].issueWidth(), 9u);
+    EXPECT_EQ(targets[3].issueWidth(), 14u);
+}
+
+TEST(MachineDesc, FromNameRejectsBadStrings)
+{
+    EXPECT_THROW(MachineDesc::fromName("123"), FatalError);
+    EXPECT_THROW(MachineDesc::fromName("12a4"), FatalError);
+    EXPECT_THROW(MachineDesc::fromName("0111"), FatalError);
+    EXPECT_THROW(MachineDesc::fromName("11111"), FatalError);
+}
+
+TEST(MachineDesc, RegisterFilesGrowWithWidth)
+{
+    auto narrow = MachineDesc::fromName("1111");
+    auto wide = MachineDesc::fromName("6332");
+    EXPECT_EQ(narrow.intRegs, 32u);
+    EXPECT_GT(wide.intRegs, narrow.intRegs);
+    // Power-of-two register file sizes (operand-field encoding).
+    EXPECT_EQ(wide.intRegs & (wide.intRegs - 1), 0u);
+}
+
+TEST(MachineDesc, CostGrowsWithWidth)
+{
+    double prev = 0.0;
+    for (const char *name : {"1111", "2111", "3221", "4221", "6332"}) {
+        double cost = MachineDesc::fromName(name).cost();
+        EXPECT_GT(cost, prev) << name;
+        prev = cost;
+    }
+}
+
+TEST(MachineDesc, TraceEquivalenceClasses)
+{
+    auto a = MachineDesc::fromName("1111");
+    auto b = MachineDesc::fromName("6332");
+    // All default-space machines share speculation/predication.
+    EXPECT_TRUE(a.traceEquivalent(b));
+    b.speculation = false;
+    EXPECT_FALSE(a.traceEquivalent(b));
+}
+
+} // namespace
+} // namespace pico::machine

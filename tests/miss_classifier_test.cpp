@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for three-C miss classification and write-back accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/CacheSim.hpp"
+#include "cache/MissClassifier.hpp"
+#include "support/Random.hpp"
+
+namespace pico::cache
+{
+namespace
+{
+
+TEST(MissClassifier, ColdMissesAreCompulsory)
+{
+    MissClassifier mc(CacheConfig{4, 2, 16});
+    mc.access(0x000);
+    mc.access(0x100);
+    auto b = mc.breakdown();
+    EXPECT_EQ(b.compulsory, 2u);
+    EXPECT_EQ(b.capacity, 0u);
+    EXPECT_EQ(b.conflict, 0u);
+}
+
+TEST(MissClassifier, ConflictMissDetected)
+{
+    // 4 sets x 1 way x 16B = 64B cache; fully associative twin has
+    // 4 ways. Addresses 0x000 and 0x040 conflict on set 0 but fit
+    // easily in the fully associative cache.
+    MissClassifier mc(CacheConfig{4, 1, 16});
+    mc.access(0x000);
+    mc.access(0x040);
+    mc.access(0x000); // conflict: FA would hit
+    auto b = mc.breakdown();
+    EXPECT_EQ(b.compulsory, 2u);
+    EXPECT_EQ(b.conflict, 1u);
+    EXPECT_EQ(b.capacity, 0u);
+}
+
+TEST(MissClassifier, CapacityMissDetected)
+{
+    // One-set cache: target == fully associative, so every
+    // non-compulsory miss is a capacity miss.
+    MissClassifier mc(CacheConfig{1, 2, 16});
+    mc.access(0x000);
+    mc.access(0x010);
+    mc.access(0x020); // evicts 0x000 in both
+    mc.access(0x000); // capacity
+    auto b = mc.breakdown();
+    EXPECT_EQ(b.compulsory, 3u);
+    EXPECT_EQ(b.capacity, 1u);
+    EXPECT_EQ(b.conflict, 0u);
+}
+
+TEST(MissClassifier, BreakdownSumsToSimulatorMisses)
+{
+    CacheConfig cfg{16, 2, 32};
+    MissClassifier mc(cfg);
+    CacheSim plain(cfg);
+    Rng rng(2026);
+    for (int i = 0; i < 30000; ++i) {
+        uint64_t addr = rng.coin(0.7) ? rng.below(1 << 11)
+                                      : rng.below(1 << 16);
+        addr &= ~3ULL;
+        mc.access(addr);
+        plain.access(addr);
+    }
+    EXPECT_EQ(mc.breakdown().totalMisses(), plain.misses());
+    EXPECT_GT(mc.breakdown().conflict, 0u);
+    EXPECT_GT(mc.breakdown().capacity, 0u);
+}
+
+TEST(CacheSimWriteback, CleanEvictionsDoNotWriteBack)
+{
+    CacheSim sim(CacheConfig{1, 1, 16});
+    sim.access(0x000, false);
+    sim.access(0x010, false); // evict clean line
+    EXPECT_EQ(sim.writebacks(), 0u);
+}
+
+TEST(CacheSimWriteback, DirtyEvictionWritesBack)
+{
+    CacheSim sim(CacheConfig{1, 1, 16});
+    sim.access(0x000, true);  // install dirty
+    sim.access(0x010, false); // evict dirty line
+    EXPECT_EQ(sim.writebacks(), 1u);
+}
+
+TEST(CacheSimWriteback, HitMarksLineDirty)
+{
+    CacheSim sim(CacheConfig{1, 1, 16});
+    sim.access(0x000, false); // clean install
+    sim.access(0x004, true);  // write hit marks dirty
+    sim.access(0x010, false); // evict -> writeback
+    EXPECT_EQ(sim.writebacks(), 1u);
+}
+
+TEST(CacheSimWriteback, InvalidateFlushesDirtyLine)
+{
+    CacheSim sim(CacheConfig{4, 2, 16});
+    sim.access(0x100, true);
+    sim.invalidateLine(0x100 / 16);
+    EXPECT_EQ(sim.writebacks(), 1u);
+    sim.access(0x200, false);
+    sim.invalidateLine(0x200 / 16);
+    EXPECT_EQ(sim.writebacks(), 1u); // clean invalidation is free
+}
+
+TEST(CacheSimWriteback, ResetClearsWritebacks)
+{
+    CacheSim sim(CacheConfig{1, 1, 16});
+    sim.access(0x000, true);
+    sim.access(0x010, false);
+    sim.reset();
+    EXPECT_EQ(sim.writebacks(), 0u);
+}
+
+} // namespace
+} // namespace pico::cache

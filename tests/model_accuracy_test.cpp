@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Suite-wide property sweep: for every benchmark, the dilation
+ * model's instruction-cache estimate must track dilated-trace
+ * simulation within a loose factor across moderate dilations, and
+ * the unified estimate must at least move in the right direction.
+ * This pins down the quality floor that the table/figure benches
+ * report in detail.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/CacheSim.hpp"
+#include "core/DilationModel.hpp"
+#include "core/TraceModel.hpp"
+#include "trace/TraceGenerator.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico
+{
+namespace
+{
+
+using machine::MachineDesc;
+
+constexpr uint64_t kBlocks = 15000;
+
+class ModelAccuracy : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prog_ = workloads::buildAndProfile(
+            workloads::specByName(GetParam()), kBlocks);
+        ref_ = workloads::buildFor(prog_,
+                                   MachineDesc::fromName("1111"));
+    }
+
+    uint64_t
+    simulate(trace::TraceKind kind, const cache::CacheConfig &cfg,
+             double d) const
+    {
+        cache::CacheSim sim(cfg);
+        trace::TraceGenerator gen(prog_, ref_.sched, ref_.bin);
+        gen.generateDilated(kind, d,
+                            [&sim](const trace::Access &a) {
+                                sim.access(a.addr, a.isWrite);
+                            },
+                            kBlocks);
+        return sim.misses();
+    }
+
+    ir::Program prog_;
+    workloads::MachineBuild ref_;
+};
+
+TEST_P(ModelAccuracy, IcacheEstimateTracksDilatedSimulation)
+{
+    cache::CacheConfig cfg = cache::CacheConfig::fromSize(1024, 1, 32);
+
+    trace::TraceGenerator gen(prog_, ref_.sched, ref_.bin);
+    core::ItraceModeler modeler(5000);
+    gen.generate(trace::TraceKind::Instruction,
+                 [&modeler](const trace::Access &a) {
+                     modeler.access(a);
+                 },
+                 kBlocks);
+    core::DilationModel model(modeler.params(), modeler.params(),
+                              modeler.params());
+    core::MissOracle oracle = [this,
+                               &cfg](const cache::CacheConfig &c) {
+        return static_cast<double>(
+            simulate(trace::TraceKind::Instruction, c, 1.0));
+    };
+
+    for (double d : {1.5, 2.5}) {
+        auto truth = static_cast<double>(
+            simulate(trace::TraceKind::Instruction, cfg, d));
+        if (truth < 500.0)
+            continue; // too few misses for a stable ratio
+        double est = model.estimateIcacheMisses(cfg, d, oracle);
+        EXPECT_GT(est, 0.4 * truth) << GetParam() << " d=" << d;
+        EXPECT_LT(est, 2.5 * truth) << GetParam() << " d=" << d;
+    }
+}
+
+TEST_P(ModelAccuracy, UcacheEstimateMovesWithDilation)
+{
+    cache::CacheConfig cfg =
+        cache::CacheConfig::fromSize(16384, 2, 64);
+
+    trace::TraceGenerator gen(prog_, ref_.sched, ref_.bin);
+    core::UtraceModeler modeler(40000);
+    cache::CacheSim refsim(cfg);
+    gen.generate(trace::TraceKind::Unified,
+                 [&](const trace::Access &a) {
+                     modeler.access(a);
+                     refsim.access(a.addr, a.isWrite);
+                 },
+                 kBlocks);
+    core::DilationModel model(modeler.instrParams(),
+                              modeler.instrParams(),
+                              modeler.dataParams());
+    auto ref_misses = static_cast<double>(refsim.misses());
+
+    double est = model.estimateUcacheMisses(cfg, 2.5, ref_misses);
+    auto truth = static_cast<double>(
+        simulate(trace::TraceKind::Unified, cfg, 2.5));
+    // Both move upward from the reference; the estimate stays
+    // between the reference and a generous bound above the truth.
+    EXPECT_GE(est, ref_misses) << GetParam();
+    EXPECT_GE(truth, ref_misses * 0.99) << GetParam();
+    EXPECT_LT(est, truth * 2.0 + 1000.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, ModelAccuracy,
+    ::testing::Values("085.gcc", "099.go", "147.vortex", "epic",
+                      "ghostscript", "mipmap", "pgpdecode",
+                      "pgpencode", "rasta", "unepic"));
+
+} // namespace
+} // namespace pico

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the data-cache port-contention model and its use in the
+ * spacewalker's port-parameterized composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/Scheduler.hpp"
+#include "dse/Spacewalker.hpp"
+#include "trace/ExecutionEngine.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico
+{
+namespace
+{
+
+using machine::MachineDesc;
+
+TEST(PortModel, ZeroPortsMeansNoConstraint)
+{
+    workloads::AppSpec spec;
+    spec.seed = 71;
+    auto prog = workloads::buildAndProfile(spec, 10000);
+    compiler::Scheduler sched;
+    auto sp = sched.schedule(prog, MachineDesc::fromName("3221"));
+    EXPECT_EQ(compiler::Scheduler::processorCycles(prog, sp),
+              compiler::Scheduler::processorCycles(prog, sp, 0));
+}
+
+TEST(PortModel, FewerPortsNeverFaster)
+{
+    workloads::AppSpec spec;
+    spec.seed = 72;
+    spec.fracMem = 0.45;
+    auto prog = workloads::buildAndProfile(spec, 10000);
+    compiler::Scheduler sched;
+    auto sp = sched.schedule(prog, MachineDesc::fromName("6332"));
+    uint64_t wide = compiler::Scheduler::processorCycles(prog, sp, 4);
+    uint64_t narrow =
+        compiler::Scheduler::processorCycles(prog, sp, 1);
+    EXPECT_GE(narrow, wide);
+    // A memory-heavy program on a 3-memory-port machine must
+    // actually be slowed by a single-ported cache.
+    EXPECT_GT(narrow, wide);
+}
+
+TEST(PortModel, ManyPortsMatchUnconstrained)
+{
+    workloads::AppSpec spec;
+    spec.seed = 73;
+    auto prog = workloads::buildAndProfile(spec, 10000);
+    compiler::Scheduler sched;
+    auto sp = sched.schedule(prog, MachineDesc::fromName("2111"));
+    // One memory FU: even one cache port can never be the
+    // bottleneck beyond the schedule itself.
+    EXPECT_EQ(compiler::Scheduler::processorCycles(prog, sp, 1),
+              compiler::Scheduler::processorCycles(prog, sp, 0));
+}
+
+TEST(Spacewalker, PortParameterizedExploration)
+{
+    auto spec = workloads::specByName("unepic");
+    auto prog = workloads::buildAndProfile(spec, 10000);
+
+    dse::MemorySpaces spaces;
+    dse::CacheSpace l1;
+    l1.sizesBytes = {4096};
+    l1.assocs = {1, 2};
+    l1.lineSizes = {32};
+    l1.portCounts = {1, 2};
+    spaces.icache = l1;
+    spaces.dcache = l1;
+    dse::CacheSpace l2;
+    l2.sizesBytes = {65536};
+    l2.assocs = {4};
+    l2.lineSizes = {64};
+    spaces.ucache = l2;
+
+    dse::Spacewalker::Options opts;
+    opts.traceBlocks = 10000;
+    opts.uGranule = 50000;
+    dse::Spacewalker walker(spaces, {"1111", "3221"}, opts);
+    auto result = walker.explore(prog);
+    EXPECT_FALSE(result.systems.empty());
+}
+
+TEST(Spacewalker, PredicatedMachinesUseOwnReferenceClass)
+{
+    auto spec = workloads::specByName("rasta");
+    auto prog = workloads::buildAndProfile(spec, 10000);
+
+    dse::MemorySpaces spaces;
+    dse::CacheSpace l1;
+    l1.sizesBytes = {4096};
+    l1.assocs = {1};
+    l1.lineSizes = {32};
+    spaces.icache = l1;
+    spaces.dcache = l1;
+    dse::CacheSpace l2;
+    l2.sizesBytes = {65536};
+    l2.assocs = {4};
+    l2.lineSizes = {64};
+    spaces.ucache = l2;
+
+    dse::Spacewalker::Options opts;
+    opts.traceBlocks = 10000;
+    opts.uGranule = 50000;
+    dse::Spacewalker walker(spaces,
+                            {"1111", "3221", "3221p", "6332p"}, opts);
+    auto result = walker.explore(prog);
+    // Dilations are measured within each class, so the predicated
+    // machines compare against the predicated 1111p reference.
+    EXPECT_EQ(result.dilations.size(), 4u);
+    EXPECT_GT(result.dilations.at("3221p"), 1.0);
+    EXPECT_GT(result.dilations.at("6332p"),
+              result.dilations.at("3221p") * 0.95);
+    EXPECT_FALSE(result.systems.empty());
+}
+
+} // namespace
+} // namespace pico

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the VLIW list scheduler: correctness (dependences,
+ * resource limits, branch placement), and the machine-width effects
+ * the paper's model depends on (shorter schedules, more speculation
+ * on wider machines).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/Scheduler.hpp"
+#include "trace/ExecutionEngine.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico::compiler
+{
+namespace
+{
+
+using machine::MachineDesc;
+
+ir::BasicBlock
+chainBlock(size_t n)
+{
+    // n dependent integer ops followed by a branch.
+    ir::BasicBlock block;
+    for (size_t i = 0; i < n; ++i) {
+        ir::Operation op;
+        op.opClass = ir::OpClass::IntAlu;
+        if (i > 0)
+            op.deps.push_back(static_cast<uint16_t>(i - 1));
+        block.ops.push_back(op);
+    }
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+    block.ops.push_back(br);
+    return block;
+}
+
+ir::BasicBlock
+independentBlock(size_t n)
+{
+    ir::BasicBlock block;
+    for (size_t i = 0; i < n; ++i) {
+        ir::Operation op;
+        op.opClass = ir::OpClass::IntAlu;
+        block.ops.push_back(op);
+    }
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+    block.ops.push_back(br);
+    return block;
+}
+
+TEST(Scheduler, DependentChainSerializes)
+{
+    Scheduler sched;
+    auto block = chainBlock(6);
+    auto out = sched.scheduleBlock(block, MachineDesc::fromName("6332"),
+                                   1);
+    // 6 unit-latency dependent ops + the branch: at least 7 cycles
+    // regardless of width.
+    EXPECT_GE(out.scheduleLength(), 7u);
+    EXPECT_EQ(out.totalOps(), 7u);
+}
+
+TEST(Scheduler, IndependentOpsPackToWidth)
+{
+    Scheduler sched;
+    auto block = independentBlock(6);
+    // 1111: one integer slot -> 6 cycles for the ALUs + 1 branch.
+    auto narrow = sched.scheduleBlock(
+        block, MachineDesc::fromName("1111"), 1);
+    EXPECT_EQ(narrow.scheduleLength(), 7u);
+    // 6332: six integer slots -> 1 cycle + 1 branch.
+    auto wide = sched.scheduleBlock(
+        block, MachineDesc::fromName("6332"), 1);
+    EXPECT_EQ(wide.scheduleLength(), 2u);
+}
+
+TEST(Scheduler, RespectsFuLimitsEveryCycle)
+{
+    workloads::AppSpec spec;
+    spec.seed = 777;
+    auto prog = workloads::buildProgram(spec);
+    Scheduler sched;
+    for (const char *name : {"1111", "2111", "3221", "6332"}) {
+        auto mdes = MachineDesc::fromName(name);
+        auto sp = sched.schedule(prog, mdes);
+        for (const auto &func : sp.functions) {
+            for (const auto &block : func.blocks) {
+                for (const auto &inst : block.insts) {
+                    unsigned used[4] = {0, 0, 0, 0};
+                    for (const auto &op : inst.ops)
+                        ++used[static_cast<unsigned>(op.opClass)];
+                    for (unsigned c = 0; c < 4; ++c) {
+                        EXPECT_LE(used[c],
+                                  mdes.fuCount[c])
+                            << name;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Scheduler, DependencesRespectedInIssueOrder)
+{
+    workloads::AppSpec spec;
+    spec.seed = 31337;
+    spec.depDensity = 0.6;
+    auto prog = workloads::buildProgram(spec);
+    Scheduler sched;
+    auto mdes = MachineDesc::fromName("4221");
+    auto sp = sched.schedule(prog, mdes);
+    for (size_t f = 0; f < prog.functions.size(); ++f) {
+        for (size_t b = 0; b < prog.functions[f].blocks.size(); ++b) {
+            const auto &irb = prog.functions[f].blocks[b];
+            const auto &sb = sp.functions[f].blocks[b];
+            // Issue cycle per original index.
+            std::vector<int> cycle(irb.ops.size(), -1);
+            std::vector<bool> speculated(irb.ops.size(), false);
+            for (size_t c = 0; c < sb.insts.size(); ++c) {
+                for (const auto &op : sb.insts[c].ops) {
+                    if (op.origIndex != synthesizedOp) {
+                        cycle[op.origIndex] = static_cast<int>(c);
+                        speculated[op.origIndex] = op.speculated;
+                    }
+                }
+            }
+            for (size_t i = 0; i < irb.ops.size(); ++i) {
+                ASSERT_GE(cycle[i], 0);
+                if (speculated[i])
+                    continue; // hoisted above its dependences
+                for (auto dep : irb.ops[i].deps) {
+                    EXPECT_GE(cycle[i],
+                              cycle[dep] + irb.ops[dep].latency);
+                }
+            }
+        }
+    }
+}
+
+TEST(Scheduler, BranchIssuesLast)
+{
+    workloads::AppSpec spec;
+    spec.seed = 2222;
+    auto prog = workloads::buildProgram(spec);
+    Scheduler sched;
+    auto sp = sched.schedule(prog, MachineDesc::fromName("3221"));
+    for (size_t f = 0; f < prog.functions.size(); ++f) {
+        for (size_t b = 0; b < prog.functions[f].blocks.size(); ++b) {
+            const auto &sb = sp.functions[f].blocks[b];
+            int branch_cycle = -1, last_orig_cycle = -1;
+            for (size_t c = 0; c < sb.insts.size(); ++c) {
+                for (const auto &op : sb.insts[c].ops) {
+                    if (op.origIndex == synthesizedOp)
+                        continue;
+                    last_orig_cycle = static_cast<int>(c);
+                    if (op.opClass == ir::OpClass::Branch)
+                        branch_cycle = static_cast<int>(c);
+                }
+            }
+            ASSERT_GE(branch_cycle, 0);
+            EXPECT_EQ(branch_cycle, last_orig_cycle);
+        }
+    }
+}
+
+TEST(Scheduler, WiderMachinesScheduleNoSlower)
+{
+    workloads::AppSpec spec;
+    spec.seed = 9876;
+    auto prog = workloads::buildProgram(spec);
+    trace::ExecutionEngine::profile(prog, 20000);
+    Scheduler sched;
+    uint64_t prev = ~0ULL;
+    for (const char *name : {"1111", "2111", "3221", "4221", "6332"}) {
+        auto sp = sched.schedule(prog, MachineDesc::fromName(name));
+        uint64_t cycles = Scheduler::processorCycles(prog, sp);
+        EXPECT_LE(cycles, prev) << name;
+        prev = cycles;
+    }
+}
+
+TEST(Scheduler, WiderMachinesSpeculateMore)
+{
+    workloads::AppSpec spec;
+    spec.seed = 555;
+    auto prog = workloads::buildProgram(spec);
+    Scheduler sched;
+    auto count_spec = [&](const char *name) {
+        auto sp = sched.schedule(prog, MachineDesc::fromName(name));
+        uint64_t n = 0;
+        for (const auto &func : sp.functions)
+            for (const auto &block : func.blocks)
+                n += block.numSpeculated;
+        return n;
+    };
+    EXPECT_EQ(count_spec("1111"), 0u);
+    EXPECT_GT(count_spec("6332"), count_spec("2111"));
+}
+
+TEST(Scheduler, DeterministicOutput)
+{
+    workloads::AppSpec spec;
+    spec.seed = 8;
+    auto prog = workloads::buildProgram(spec);
+    Scheduler sched;
+    auto a = sched.schedule(prog, MachineDesc::fromName("3221"));
+    auto b = sched.schedule(prog, MachineDesc::fromName("3221"));
+    EXPECT_EQ(a.totalOps(), b.totalOps());
+    for (size_t f = 0; f < a.functions.size(); ++f) {
+        for (size_t blk = 0; blk < a.functions[f].blocks.size();
+             ++blk) {
+            EXPECT_EQ(a.functions[f].blocks[blk].scheduleLength(),
+                      b.functions[f].blocks[blk].scheduleLength());
+        }
+    }
+}
+
+TEST(Scheduler, SpillCodeAppearsUnderRegisterPressure)
+{
+    // 24 independent producers whose consumers form a serial chain:
+    // on a wide machine the producers all issue early and stay live
+    // until their (late) consumers, exceeding a small register
+    // budget.
+    ir::BasicBlock block;
+    const size_t n = 24;
+    for (size_t i = 0; i < n; ++i) {
+        ir::Operation op;
+        op.opClass = ir::OpClass::IntAlu;
+        block.ops.push_back(op);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        ir::Operation op;
+        op.opClass = ir::OpClass::IntAlu;
+        op.deps.push_back(static_cast<uint16_t>(i));
+        if (i > 0)
+            op.deps.push_back(static_cast<uint16_t>(n + i - 1));
+        block.ops.push_back(op);
+    }
+    ir::Operation br;
+    br.opClass = ir::OpClass::Branch;
+    block.ops.push_back(br);
+
+    SchedulerOptions opts;
+    opts.usableRegFraction = 0.05; // 128 * 0.05 -> ~6 usable
+    Scheduler sched(opts);
+    auto mdes = MachineDesc::fromName("6332");
+    auto out = sched.scheduleBlock(block, mdes, 3);
+    EXPECT_GT(out.numSpills, 0u);
+    // Spill code adds one load and one store per spill.
+    EXPECT_EQ(out.totalOps(),
+              2 * n + 1 + 2u * out.numSpills);
+
+    // The narrow reference machine issues producers gradually and
+    // needs far fewer (or no) spills for the same block.
+    auto ref = sched.scheduleBlock(
+        block, MachineDesc::fromName("1111"), 3);
+    EXPECT_LT(ref.numSpills, out.numSpills);
+}
+
+TEST(Scheduler, ProcessorCyclesWeightsByProfile)
+{
+    workloads::AppSpec spec;
+    spec.seed = 99;
+    auto prog = workloads::buildProgram(spec);
+    Scheduler sched;
+    auto sp = sched.schedule(prog, MachineDesc::fromName("1111"));
+    // No profile: zero cycles.
+    EXPECT_EQ(Scheduler::processorCycles(prog, sp), 0u);
+    trace::ExecutionEngine::profile(prog, 5000);
+    EXPECT_GT(Scheduler::processorCycles(prog, sp), 0u);
+}
+
+} // namespace
+} // namespace pico::compiler

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the Cheetah-style single-pass simulator: hand-checked
+ * cases plus the central property that one pass reproduces, for every
+ * covered (sets, assoc) pair, exactly the misses of a dedicated
+ * single-configuration simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/CacheSim.hpp"
+#include "cache/SinglePassSim.hpp"
+#include "support/Logging.hpp"
+#include "support/Random.hpp"
+
+namespace pico::cache
+{
+namespace
+{
+
+TEST(SinglePassSim, RejectsBadRanges)
+{
+    EXPECT_THROW(SinglePassSim(24, 16, 64, 4), FatalError); // line
+    EXPECT_THROW(SinglePassSim(32, 12, 64, 4), FatalError); // sets
+    EXPECT_THROW(SinglePassSim(32, 64, 16, 4), FatalError); // order
+    EXPECT_THROW(SinglePassSim(32, 16, 64, 0), FatalError); // assoc
+}
+
+TEST(SinglePassSim, SimpleHitMissAccounting)
+{
+    SinglePassSim sim(16, 1, 1, 2);
+    sim.access(0x000); // miss
+    sim.access(0x000); // hit at distance 0
+    sim.access(0x010); // miss
+    sim.access(0x000); // hit at distance 1
+    EXPECT_EQ(sim.accesses(), 4u);
+    // Direct-mapped (1 set, 1 way): distance-1 hit becomes a miss.
+    EXPECT_EQ(sim.misses(1, 1), 3u);
+    // 2-way: both re-references hit.
+    EXPECT_EQ(sim.misses(1, 2), 2u);
+}
+
+TEST(SinglePassSim, MissesMonotoneInAssociativity)
+{
+    SinglePassSim sim(32, 8, 64, 8);
+    Rng rng(1234);
+    for (int i = 0; i < 30000; ++i)
+        sim.access(rng.below(1 << 16) & ~3ULL);
+    for (uint32_t sets = 8; sets <= 64; sets *= 2) {
+        for (uint32_t a = 2; a <= 8; ++a)
+            EXPECT_LE(sim.misses(sets, a), sim.misses(sets, a - 1))
+                << "sets=" << sets << " assoc=" << a;
+    }
+}
+
+TEST(SinglePassSim, MissesMonotoneInCacheSizeAtFixedAssoc)
+{
+    // For LRU set-associative caches of the same line size and
+    // associativity, more sets never increases misses on the same
+    // trace only under set-refinement; verify empirically on a
+    // random trace (holds for uniformly spread addresses).
+    SinglePassSim sim(32, 8, 128, 4);
+    Rng rng(99);
+    for (int i = 0; i < 40000; ++i)
+        sim.access(rng.below(1 << 15) & ~3ULL);
+    for (uint32_t sets = 16; sets <= 128; sets *= 2)
+        EXPECT_LE(sim.misses(sets, 2), sim.misses(sets / 2, 2));
+}
+
+TEST(SinglePassSim, OutOfRangeQueriesRejected)
+{
+    SinglePassSim sim(32, 16, 64, 4);
+    EXPECT_THROW(sim.misses(8, 2), FatalError);
+    EXPECT_THROW(sim.misses(128, 2), FatalError);
+    EXPECT_THROW(sim.misses(32, 5), FatalError);
+    EXPECT_THROW(sim.misses(24, 2), FatalError);
+}
+
+TEST(SinglePassSim, CoveredConfigsEnumeration)
+{
+    SinglePassSim sim(32, 16, 64, 2);
+    auto configs = sim.coveredConfigs();
+    // 3 set counts x 2 associativities.
+    EXPECT_EQ(configs.size(), 6u);
+    for (const auto &cfg : configs)
+        EXPECT_TRUE(sim.covers(cfg));
+}
+
+/**
+ * Property: single-pass results equal per-configuration simulation
+ * for every covered configuration, over several trace shapes.
+ */
+class SinglePassEquivalence : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::vector<uint64_t>
+    makeTrace(int shape, int length)
+    {
+        Rng rng(777 + static_cast<uint64_t>(shape));
+        std::vector<uint64_t> out;
+        out.reserve(static_cast<size_t>(length));
+        uint64_t cursor = 0;
+        for (int i = 0; i < length; ++i) {
+            uint64_t addr = 0;
+            switch (shape) {
+              case 0: // uniform random
+                addr = rng.below(1 << 16);
+                break;
+              case 1: // sequential with occasional jumps
+                cursor = rng.coin(0.05) ? rng.below(1 << 16)
+                                        : cursor + 4;
+                addr = cursor;
+                break;
+              case 2: // hot/cold mixture
+                addr = rng.coin(0.8) ? rng.below(1 << 10)
+                                     : rng.below(1 << 18);
+                break;
+              default: // strided
+                cursor += 128;
+                addr = cursor % (1 << 15);
+                break;
+            }
+            out.push_back(addr & ~3ULL);
+        }
+        return out;
+    }
+};
+
+TEST_P(SinglePassEquivalence, MatchesDirectSimulation)
+{
+    auto addrs = makeTrace(GetParam(), 20000);
+
+    SinglePassSim fast(16, 4, 64, 4);
+    for (auto addr : addrs)
+        fast.access(addr);
+
+    for (uint32_t sets = 4; sets <= 64; sets *= 2) {
+        for (uint32_t assoc = 1; assoc <= 4; ++assoc) {
+            CacheSim slow(CacheConfig{sets, assoc, 16});
+            for (auto addr : addrs)
+                slow.access(addr);
+            EXPECT_EQ(fast.misses(sets, assoc), slow.misses())
+                << "sets=" << sets << " assoc=" << assoc;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TraceShapes, SinglePassEquivalence,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace pico::cache

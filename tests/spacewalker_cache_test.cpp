@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the spacewalker's EvaluationCache integration: repeated
+ * explorations reuse cached per-machine metrics, and persisted
+ * databases survive across walker instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dse/Spacewalker.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico::dse
+{
+namespace
+{
+
+MemorySpaces
+tinySpaces()
+{
+    MemorySpaces spaces;
+    CacheSpace l1;
+    l1.sizesBytes = {4096};
+    l1.assocs = {1};
+    l1.lineSizes = {32};
+    spaces.icache = l1;
+    spaces.dcache = l1;
+    CacheSpace l2;
+    l2.sizesBytes = {65536};
+    l2.assocs = {4};
+    l2.lineSizes = {64};
+    spaces.ucache = l2;
+    return spaces;
+}
+
+Spacewalker::Options
+tinyOptions()
+{
+    Spacewalker::Options opts;
+    opts.traceBlocks = 8000;
+    opts.uGranule = 40000;
+    return opts;
+}
+
+TEST(SpacewalkerCache, SecondExploreHitsCache)
+{
+    auto prog = workloads::buildAndProfile(
+        workloads::specByName("unepic"), 8000);
+    Spacewalker walker(tinySpaces(), {"1111", "3221"},
+                       tinyOptions());
+    auto first = walker.explore(prog);
+    EXPECT_EQ(walker.evaluationCache().hits(), 0u);
+    auto second = walker.explore(prog);
+    // Per-machine metrics were served from the cache.
+    EXPECT_EQ(walker.evaluationCache().hits(), 2u);
+    EXPECT_EQ(first.dilations, second.dilations);
+    EXPECT_EQ(first.processorCycles, second.processorCycles);
+}
+
+TEST(SpacewalkerCache, PersistsAcrossWalkers)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_walker_cache.db";
+    std::filesystem::remove(path);
+    auto prog = workloads::buildAndProfile(
+        workloads::specByName("unepic"), 8000);
+
+    auto opts = tinyOptions();
+    opts.evaluationCachePath = path.string();
+    std::map<std::string, double> first_dilations;
+    {
+        Spacewalker walker(tinySpaces(), {"1111", "3221"}, opts);
+        first_dilations = walker.explore(prog).dilations;
+    }
+    {
+        Spacewalker walker(tinySpaces(), {"1111", "3221"}, opts);
+        auto result = walker.explore(prog);
+        EXPECT_EQ(walker.evaluationCache().hits(), 2u);
+        EXPECT_EQ(result.dilations, first_dilations);
+    }
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace pico::dse

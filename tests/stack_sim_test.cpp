@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Mattson stack-distance simulator: hand cases,
+ * stack-inclusion monotonicity, and exact equivalence against the
+ * per-configuration simulator over all fully associative sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/CacheSim.hpp"
+#include "cache/StackSim.hpp"
+#include "support/Logging.hpp"
+#include "support/Random.hpp"
+
+namespace pico::cache
+{
+namespace
+{
+
+TEST(StackSim, RejectsBadLineSize)
+{
+    EXPECT_THROW(StackSim(24), FatalError);
+    EXPECT_THROW(StackSim(2), FatalError);
+}
+
+TEST(StackSim, SimpleDistances)
+{
+    StackSim sim(16);
+    sim.access(0x00); // cold
+    sim.access(0x10); // cold
+    sim.access(0x00); // distance 1
+    sim.access(0x00); // distance 0
+    EXPECT_EQ(sim.accesses(), 4u);
+    EXPECT_EQ(sim.coldMisses(), 2u);
+    // Capacity 1: only the distance-0 hit survives.
+    EXPECT_EQ(sim.misses(1), 3u);
+    // Capacity 2: both re-references hit.
+    EXPECT_EQ(sim.misses(2), 2u);
+    EXPECT_EQ(sim.misses(100), 2u);
+}
+
+TEST(StackSim, MissesMonotoneInCapacity)
+{
+    StackSim sim(32);
+    Rng rng(404);
+    for (int i = 0; i < 30000; ++i)
+        sim.access(rng.below(1 << 15) & ~3ULL);
+    uint64_t prev = sim.misses(1);
+    for (uint64_t cap = 2; cap <= 1024; cap *= 2) {
+        uint64_t cur = sim.misses(cap);
+        EXPECT_LE(cur, prev) << "capacity " << cap;
+        prev = cur;
+    }
+    // Large enough capacity leaves only cold misses.
+    EXPECT_EQ(sim.misses(1 << 20), sim.coldMisses());
+}
+
+TEST(StackSim, MatchesPerConfigurationSimulation)
+{
+    Rng rng(505);
+    std::vector<uint64_t> addrs;
+    uint64_t pc = 0;
+    for (int i = 0; i < 20000; ++i) {
+        pc = rng.coin(0.1) ? rng.below(1 << 14) & ~3ULL : pc + 4;
+        addrs.push_back(pc);
+    }
+
+    StackSim fast(16);
+    for (auto a : addrs)
+        fast.access(a);
+
+    for (uint32_t capacity : {1u, 2u, 4u, 16u, 64u, 256u}) {
+        CacheSim slow(CacheConfig{1, capacity, 16});
+        for (auto a : addrs)
+            slow.access(a);
+        EXPECT_EQ(fast.misses(capacity), slow.misses())
+            << "capacity " << capacity;
+    }
+}
+
+TEST(StackSim, HistogramSumsToHits)
+{
+    StackSim sim(32);
+    Rng rng(606);
+    for (int i = 0; i < 5000; ++i)
+        sim.access(rng.below(1 << 10) & ~3ULL);
+    uint64_t hits = 0;
+    for (auto h : sim.histogram())
+        hits += h;
+    EXPECT_EQ(hits + sim.coldMisses() +
+                  (sim.accesses() - hits - sim.coldMisses()),
+              sim.accesses());
+    EXPECT_EQ(sim.misses(1 << 20), sim.coldMisses());
+    EXPECT_EQ(sim.accesses() - hits, sim.coldMisses());
+}
+
+TEST(StackSim, MissesForBytesConverts)
+{
+    StackSim sim(32);
+    sim.access(0);
+    sim.access(0);
+    EXPECT_EQ(sim.missesForBytes(1024), sim.misses(32));
+}
+
+} // namespace
+} // namespace pico::cache

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for trace-file serialization: round trips, header checking,
+ * and simulator equivalence between live and replayed traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cache/CacheSim.hpp"
+#include "trace/TraceFile.hpp"
+#include "trace/TraceGenerator.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico::trace
+{
+namespace
+{
+
+std::filesystem::path
+tempTrace(const char *name)
+{
+    return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(TraceFile, RoundTripPreservesRecords)
+{
+    auto path = tempTrace("pico_roundtrip.trace");
+    std::vector<Access> accesses = {
+        {0x01000000, true, false},
+        {0x40000004, false, false},
+        {0x40000008, false, true},
+        {0xdeadbeef0, false, true},
+    };
+    {
+        TraceFileWriter writer(path.string());
+        for (const auto &a : accesses)
+            writer.write(a);
+        EXPECT_EQ(writer.count(), accesses.size());
+    }
+    TraceFileReader reader(path.string());
+    std::vector<Access> read;
+    reader.replay([&read](const Access &a) { read.push_back(a); });
+    ASSERT_EQ(read.size(), accesses.size());
+    for (size_t i = 0; i < read.size(); ++i) {
+        EXPECT_EQ(read[i].addr, accesses[i].addr);
+        EXPECT_EQ(read[i].isInstr, accesses[i].isInstr);
+        EXPECT_EQ(read[i].isWrite, accesses[i].isWrite);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, RejectsMissingFile)
+{
+    EXPECT_THROW(TraceFileReader("/nonexistent/trace"), FatalError);
+}
+
+TEST(TraceFile, RejectsBadHeader)
+{
+    auto path = tempTrace("pico_badheader.trace");
+    {
+        std::ofstream out(path);
+        out << "not a trace\n2 1000\n";
+    }
+    EXPECT_THROW(TraceFileReader reader(path.string()), FatalError);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, ReplayedTraceSimulatesIdentically)
+{
+    auto path = tempTrace("pico_replay.trace");
+    auto prog = workloads::buildAndProfile(
+        workloads::specByName("unepic"), 4000);
+    auto build = workloads::buildFor(
+        prog, machine::MachineDesc::fromName("1111"));
+    TraceGenerator gen(prog, build.sched, build.bin);
+
+    cache::CacheConfig cfg = cache::CacheConfig::fromSize(4096, 2, 32);
+    cache::CacheSim live(cfg);
+    {
+        TraceFileWriter writer(path.string());
+        gen.generate(TraceKind::Unified,
+                     [&](const Access &a) {
+                         live.access(a.addr, a.isWrite);
+                         writer.write(a);
+                     },
+                     4000);
+    }
+
+    cache::CacheSim replayed(cfg);
+    TraceFileReader reader(path.string());
+    uint64_t n = reader.replay([&replayed](const Access &a) {
+        replayed.access(a.addr, a.isWrite);
+    });
+    EXPECT_EQ(n, live.accesses());
+    EXPECT_EQ(replayed.misses(), live.misses());
+    EXPECT_EQ(replayed.writebacks(), live.writebacks());
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace pico::trace

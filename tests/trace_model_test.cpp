@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the trace modelers: granule run statistics, the
+ * derived parameters p2 and u(L), and the I/U modeler front ends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/TraceModel.hpp"
+#include "support/Logging.hpp"
+#include "support/Random.hpp"
+
+namespace pico::core
+{
+namespace
+{
+
+trace::Access
+instrWord(uint64_t word)
+{
+    return {word * 4, true, false};
+}
+
+trace::Access
+dataWord(uint64_t word)
+{
+    return {word * 4, false, false};
+}
+
+TEST(GranuleAccumulator, SingleRunStatistics)
+{
+    GranuleAccumulator acc;
+    for (uint64_t w = 100; w < 110; ++w)
+        acc.addWord(w);
+    acc.closeGranule();
+    auto p = acc.params();
+    EXPECT_DOUBLE_EQ(p.u1, 10.0);  // 10 unique words
+    EXPECT_DOUBLE_EQ(p.p1, 0.0);   // no isolated references
+    EXPECT_DOUBLE_EQ(p.lav, 10.0); // one run of length 10
+}
+
+TEST(GranuleAccumulator, AllIsolated)
+{
+    GranuleAccumulator acc;
+    for (uint64_t w = 0; w < 8; ++w)
+        acc.addWord(w * 10);
+    acc.closeGranule();
+    auto p = acc.params();
+    EXPECT_DOUBLE_EQ(p.u1, 8.0);
+    EXPECT_DOUBLE_EQ(p.p1, 1.0);
+    EXPECT_DOUBLE_EQ(p.lav, 1.0);
+}
+
+TEST(GranuleAccumulator, MixedRuns)
+{
+    GranuleAccumulator acc;
+    // Run of 3 (5,6,7), isolated (20), run of 2 (30,31).
+    for (uint64_t w : {5, 6, 7, 20, 30, 31})
+        acc.addWord(w);
+    acc.closeGranule();
+    auto p = acc.params();
+    EXPECT_DOUBLE_EQ(p.u1, 6.0);
+    EXPECT_NEAR(p.p1, 1.0 / 6.0, 1e-12); // 1 isolated of 6 unique
+    EXPECT_DOUBLE_EQ(p.lav, 2.0);        // 6 unique / 3 runs
+}
+
+TEST(GranuleAccumulator, DuplicatesCollapse)
+{
+    GranuleAccumulator acc;
+    for (int rep = 0; rep < 5; ++rep)
+        for (uint64_t w : {1, 2, 3})
+            acc.addWord(w);
+    acc.closeGranule();
+    auto p = acc.params();
+    EXPECT_DOUBLE_EQ(p.u1, 3.0);
+    EXPECT_DOUBLE_EQ(p.lav, 3.0);
+}
+
+TEST(GranuleAccumulator, AveragesAcrossGranules)
+{
+    GranuleAccumulator acc;
+    for (uint64_t w = 0; w < 4; ++w)
+        acc.addWord(w); // one run of 4
+    acc.closeGranule();
+    for (uint64_t w = 0; w < 4; ++w)
+        acc.addWord(w * 100); // four isolated
+    acc.closeGranule();
+    auto p = acc.params();
+    EXPECT_EQ(acc.granules(), 2u);
+    EXPECT_DOUBLE_EQ(p.u1, 4.0);
+    EXPECT_DOUBLE_EQ(p.p1, 0.5);        // (0 + 1) / 2
+    EXPECT_DOUBLE_EQ(p.lav, 2.5);       // (4 + 1) / 2
+}
+
+TEST(GranuleAccumulator, EmptyGranuleIgnored)
+{
+    GranuleAccumulator acc;
+    acc.closeGranule();
+    EXPECT_EQ(acc.granules(), 0u);
+    EXPECT_THROW(acc.params(), PanicError);
+}
+
+TEST(ComponentParams, P2Definition)
+{
+    ComponentParams p;
+    p.u1 = 100.0;
+    p.p1 = 0.2;
+    p.lav = 5.0;
+    // Equation 4.4: (5 - 1.2) / 4 = 0.95.
+    EXPECT_NEAR(p.p2(), 0.95, 1e-12);
+}
+
+TEST(ComponentParams, P2DegenerateAtUnitRunLength)
+{
+    ComponentParams p;
+    p.u1 = 10.0;
+    p.p1 = 1.0;
+    p.lav = 1.0;
+    EXPECT_DOUBLE_EQ(p.p2(), 0.0);
+}
+
+TEST(ComponentParams, ULinesEndpoints)
+{
+    ComponentParams p;
+    p.u1 = 120.0;
+    p.p1 = 0.1;
+    p.lav = 6.0;
+    // L = 1 word: every unique word is its own line.
+    EXPECT_NEAR(p.uLines(1.0), 120.0, 1e-9);
+    // L -> infinity: one line per run = u1 / lav.
+    EXPECT_NEAR(p.uLines(1e9), 20.0, 1e-3);
+}
+
+TEST(ComponentParams, ULinesMatchesPForm)
+{
+    // The closed form equals the equation 4.5 p-form
+    // u(1)(1 + p1/L - p2)/(1 + p1 - p2) under equation 4.4.
+    ComponentParams p;
+    p.u1 = 250.0;
+    p.p1 = 0.3;
+    p.lav = 4.0;
+    for (double L : {1.0, 2.0, 3.7, 8.0, 16.0, 100.0}) {
+        double closed = p.uLines(L);
+        double pform = p.u1 * (1.0 + p.p1 / L - p.p2()) /
+                       (1.0 + p.p1 - p.p2());
+        EXPECT_NEAR(closed, pform, 1e-9 * closed) << "L=" << L;
+    }
+}
+
+TEST(ComponentParams, ULinesMonotoneDecreasing)
+{
+    ComponentParams p;
+    p.u1 = 300.0;
+    p.p1 = 0.25;
+    p.lav = 5.0;
+    double prev = p.uLines(1.0);
+    for (double L = 2.0; L <= 64.0; L *= 2.0) {
+        double cur = p.uLines(L);
+        EXPECT_LT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(ItraceModeler, FiltersDataReferences)
+{
+    ItraceModeler modeler(16);
+    for (uint64_t w = 0; w < 16; ++w) {
+        modeler.access(instrWord(w));
+        modeler.access(dataWord(w + 1000)); // must be ignored
+    }
+    ASSERT_EQ(modeler.granules(), 1u);
+    EXPECT_DOUBLE_EQ(modeler.params().u1, 16.0);
+    EXPECT_DOUBLE_EQ(modeler.params().lav, 16.0);
+}
+
+TEST(ItraceModeler, ThrowsWithoutFullGranule)
+{
+    ItraceModeler modeler(1000);
+    modeler.access(instrWord(1));
+    EXPECT_THROW(modeler.params(), FatalError);
+}
+
+TEST(UtraceModeler, SeparatesComponents)
+{
+    UtraceModeler modeler(20);
+    // 10 sequential instruction words + 10 isolated data words per
+    // granule.
+    for (uint64_t w = 0; w < 10; ++w)
+        modeler.access(instrWord(w));
+    for (uint64_t w = 0; w < 10; ++w)
+        modeler.access(dataWord(10000 + w * 50));
+    ASSERT_EQ(modeler.granules(), 1u);
+    EXPECT_DOUBLE_EQ(modeler.instrParams().lav, 10.0);
+    EXPECT_DOUBLE_EQ(modeler.instrParams().p1, 0.0);
+    EXPECT_DOUBLE_EQ(modeler.dataParams().lav, 1.0);
+    EXPECT_DOUBLE_EQ(modeler.dataParams().p1, 1.0);
+}
+
+TEST(UtraceModeler, GranuleCountsAllReferences)
+{
+    // Granule size counts instruction + data together (section 4.3).
+    UtraceModeler modeler(10);
+    for (uint64_t w = 0; w < 5; ++w) {
+        modeler.access(instrWord(w));
+        modeler.access(dataWord(w + 500));
+    }
+    EXPECT_EQ(modeler.granules(), 1u);
+}
+
+TEST(TraceModel, RandomTraceParamsSane)
+{
+    // Random word addresses: p1 near 1, lav near 1.
+    ItraceModeler modeler(5000);
+    Rng rng(3);
+    for (int i = 0; i < 50000; ++i)
+        modeler.access(instrWord(rng.below(1 << 22)));
+    auto p = modeler.params();
+    EXPECT_GT(p.p1, 0.95);
+    EXPECT_LT(p.lav, 1.1);
+    EXPECT_GT(p.u1, 4000.0);
+}
+
+} // namespace
+} // namespace pico::core

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Suite-characterization tests: regression-protect the workload
+ * calibration that the experiments depend on. These assert the
+ * *regimes* (miss-rate ranges, dilation ranges, working-set
+ * relationships), not exact counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/CacheSim.hpp"
+#include "linker/LinkedBinary.hpp"
+#include "trace/TraceGenerator.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico::workloads
+{
+namespace
+{
+
+using machine::MachineDesc;
+
+constexpr uint64_t kBlocks = 20000;
+
+struct AppMeasurement
+{
+    double i1kMissRate;
+    double i16kMissRate;
+    double d16kMissRate;
+    uint64_t textSize;
+    double dilation6332;
+};
+
+AppMeasurement
+measure(const AppSpec &spec)
+{
+    auto prog = buildAndProfile(spec, kBlocks);
+    auto ref = buildFor(prog, MachineDesc::fromName("1111"));
+    auto wide = buildFor(prog, MachineDesc::fromName("6332"));
+
+    trace::TraceGenerator gen(prog, ref.sched, ref.bin);
+    cache::CacheSim i1(cache::CacheConfig::fromSize(1024, 1, 32));
+    cache::CacheSim i16(cache::CacheConfig::fromSize(16384, 2, 32));
+    gen.generate(trace::TraceKind::Instruction,
+                 [&](const trace::Access &a) {
+                     i1.access(a.addr);
+                     i16.access(a.addr);
+                 },
+                 kBlocks);
+    cache::CacheSim d16(cache::CacheConfig::fromSize(16384, 2, 32));
+    gen.generate(trace::TraceKind::Data,
+                 [&](const trace::Access &a) {
+                     d16.access(a.addr, a.isWrite);
+                 },
+                 kBlocks);
+
+    return {i1.missRate(), i16.missRate(), d16.missRate(),
+            ref.bin.textSize(),
+            linker::textDilation(wide.bin, ref.bin)};
+}
+
+class SuiteCharacterization
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SuiteCharacterization, PaperRegimes)
+{
+    auto m = measure(specByName(GetParam()));
+    // The paper picked benchmarks with high I-cache miss rates:
+    // every app must exercise the small I-cache meaningfully.
+    EXPECT_GT(m.i1kMissRate, 0.005) << "1KB I$ too cold";
+    EXPECT_LT(m.i1kMissRate, 0.5) << "1KB I$ thrashing";
+    // ... and must not be pure noise in the large I-cache.
+    EXPECT_GT(m.i16kMissRate, 0.0001) << "16KB I$ is noise";
+    // Data caches see real traffic.
+    EXPECT_GT(m.d16kMissRate, 0.005);
+    // Text sizes in the tens of KB (embedded-application scale).
+    EXPECT_GT(m.textSize, 10000u);
+    EXPECT_LT(m.textSize, 400000u);
+    // Table 3's regime for the widest machine.
+    EXPECT_GT(m.dilation6332, 1.5);
+    EXPECT_LT(m.dilation6332, 3.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SuiteCharacterization,
+    ::testing::Values("085.gcc", "099.go", "147.vortex", "epic",
+                      "ghostscript", "mipmap", "pgpdecode",
+                      "pgpencode", "rasta", "unepic"));
+
+TEST(SuiteCharacterization, SpecAppsHaveLargerCodeThanMedia)
+{
+    auto gcc = measure(specByName("085.gcc"));
+    auto epic = measure(specByName("epic"));
+    auto unepic = measure(specByName("unepic"));
+    EXPECT_GT(gcc.textSize, epic.textSize);
+    EXPECT_GT(gcc.textSize, unepic.textSize);
+}
+
+TEST(SuiteCharacterization, MediaAppsDilateLess)
+{
+    // Table 3: epic/mipmap/rasta/unepic have the smallest dilations.
+    double media = measure(specByName("mipmap")).dilation6332;
+    double spec = measure(specByName("099.go")).dilation6332;
+    EXPECT_LT(media, spec);
+}
+
+TEST(Lemma1, ExactThroughRealToolchainTraces)
+{
+    // End-to-end Lemma 1: the trace generator's dilated trace at a
+    // power-of-two dilation produces exactly the misses of the
+    // line-contracted cache on the undilated trace.
+    auto prog = buildAndProfile(specByName("pgpencode"), 8000);
+    auto ref = buildFor(prog, MachineDesc::fromName("1111"));
+    trace::TraceGenerator gen(prog, ref.sched, ref.bin);
+
+    for (uint32_t sets : {32u, 256u}) {
+        for (uint32_t assoc : {1u, 2u}) {
+            cache::CacheSim dilated(
+                cache::CacheConfig{sets, assoc, 32});
+            gen.generateDilated(trace::TraceKind::Instruction, 2.0,
+                                [&](const trace::Access &a) {
+                                    dilated.access(a.addr);
+                                },
+                                8000);
+            cache::CacheSim contracted(
+                cache::CacheConfig{sets, assoc, 16});
+            gen.generate(trace::TraceKind::Instruction,
+                         [&](const trace::Access &a) {
+                             contracted.access(a.addr);
+                         },
+                         8000);
+            EXPECT_EQ(dilated.misses(), contracted.misses())
+                << "sets=" << sets << " assoc=" << assoc;
+        }
+    }
+}
+
+} // namespace
+} // namespace pico::workloads
