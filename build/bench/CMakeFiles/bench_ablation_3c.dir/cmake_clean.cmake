@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_3c.dir/bench_ablation_3c.cpp.o"
+  "CMakeFiles/bench_ablation_3c.dir/bench_ablation_3c.cpp.o.d"
+  "bench_ablation_3c"
+  "bench_ablation_3c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_3c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

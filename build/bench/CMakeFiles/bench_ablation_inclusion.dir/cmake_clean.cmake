@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inclusion.dir/bench_ablation_inclusion.cpp.o"
+  "CMakeFiles/bench_ablation_inclusion.dir/bench_ablation_inclusion.cpp.o.d"
+  "bench_ablation_inclusion"
+  "bench_ablation_inclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

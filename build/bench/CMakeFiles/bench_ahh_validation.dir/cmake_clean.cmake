@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ahh_validation.dir/bench_ahh_validation.cpp.o"
+  "CMakeFiles/bench_ahh_validation.dir/bench_ahh_validation.cpp.o.d"
+  "bench_ahh_validation"
+  "bench_ahh_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ahh_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cheetah_speedup.dir/bench_cheetah_speedup.cpp.o"
+  "CMakeFiles/bench_cheetah_speedup.dir/bench_cheetah_speedup.cpp.o.d"
+  "bench_cheetah_speedup"
+  "bench_cheetah_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cheetah_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

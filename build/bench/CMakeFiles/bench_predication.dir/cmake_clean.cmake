@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predication.dir/bench_predication.cpp.o"
+  "CMakeFiles/bench_predication.dir/bench_predication.cpp.o.d"
+  "bench_predication"
+  "bench_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3.cpp" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pico_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/pico_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pico_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pico_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pico_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pico_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/pico_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pico_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/pico_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pico_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pico_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pico_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

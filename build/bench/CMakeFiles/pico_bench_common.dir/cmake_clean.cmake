@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/pico_bench_common.dir/BenchCommon.cpp.o.d"
+  "libpico_bench_common.a"
+  "libpico_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_walk.dir/design_space_walk.cpp.o"
+  "CMakeFiles/design_space_walk.dir/design_space_walk.cpp.o.d"
+  "design_space_walk"
+  "design_space_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilation_study.dir/dilation_study.cpp.o"
+  "CMakeFiles/dilation_study.dir/dilation_study.cpp.o.d"
+  "dilation_study"
+  "dilation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/CacheConfig.cpp" "src/cache/CMakeFiles/pico_cache.dir/CacheConfig.cpp.o" "gcc" "src/cache/CMakeFiles/pico_cache.dir/CacheConfig.cpp.o.d"
+  "/root/repo/src/cache/CacheSim.cpp" "src/cache/CMakeFiles/pico_cache.dir/CacheSim.cpp.o" "gcc" "src/cache/CMakeFiles/pico_cache.dir/CacheSim.cpp.o.d"
+  "/root/repo/src/cache/Hierarchy.cpp" "src/cache/CMakeFiles/pico_cache.dir/Hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/pico_cache.dir/Hierarchy.cpp.o.d"
+  "/root/repo/src/cache/ImpactSim.cpp" "src/cache/CMakeFiles/pico_cache.dir/ImpactSim.cpp.o" "gcc" "src/cache/CMakeFiles/pico_cache.dir/ImpactSim.cpp.o.d"
+  "/root/repo/src/cache/MissClassifier.cpp" "src/cache/CMakeFiles/pico_cache.dir/MissClassifier.cpp.o" "gcc" "src/cache/CMakeFiles/pico_cache.dir/MissClassifier.cpp.o.d"
+  "/root/repo/src/cache/SinglePassSim.cpp" "src/cache/CMakeFiles/pico_cache.dir/SinglePassSim.cpp.o" "gcc" "src/cache/CMakeFiles/pico_cache.dir/SinglePassSim.cpp.o.d"
+  "/root/repo/src/cache/StackSim.cpp" "src/cache/CMakeFiles/pico_cache.dir/StackSim.cpp.o" "gcc" "src/cache/CMakeFiles/pico_cache.dir/StackSim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pico_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_cache.dir/CacheConfig.cpp.o"
+  "CMakeFiles/pico_cache.dir/CacheConfig.cpp.o.d"
+  "CMakeFiles/pico_cache.dir/CacheSim.cpp.o"
+  "CMakeFiles/pico_cache.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/pico_cache.dir/Hierarchy.cpp.o"
+  "CMakeFiles/pico_cache.dir/Hierarchy.cpp.o.d"
+  "CMakeFiles/pico_cache.dir/ImpactSim.cpp.o"
+  "CMakeFiles/pico_cache.dir/ImpactSim.cpp.o.d"
+  "CMakeFiles/pico_cache.dir/MissClassifier.cpp.o"
+  "CMakeFiles/pico_cache.dir/MissClassifier.cpp.o.d"
+  "CMakeFiles/pico_cache.dir/SinglePassSim.cpp.o"
+  "CMakeFiles/pico_cache.dir/SinglePassSim.cpp.o.d"
+  "CMakeFiles/pico_cache.dir/StackSim.cpp.o"
+  "CMakeFiles/pico_cache.dir/StackSim.cpp.o.d"
+  "libpico_cache.a"
+  "libpico_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

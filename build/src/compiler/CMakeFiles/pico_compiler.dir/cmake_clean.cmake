@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_compiler.dir/Hyperblock.cpp.o"
+  "CMakeFiles/pico_compiler.dir/Hyperblock.cpp.o.d"
+  "CMakeFiles/pico_compiler.dir/Scheduler.cpp.o"
+  "CMakeFiles/pico_compiler.dir/Scheduler.cpp.o.d"
+  "libpico_compiler.a"
+  "libpico_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

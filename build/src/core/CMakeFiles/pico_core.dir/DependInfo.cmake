@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AhhModel.cpp" "src/core/CMakeFiles/pico_core.dir/AhhModel.cpp.o" "gcc" "src/core/CMakeFiles/pico_core.dir/AhhModel.cpp.o.d"
+  "/root/repo/src/core/DilationModel.cpp" "src/core/CMakeFiles/pico_core.dir/DilationModel.cpp.o" "gcc" "src/core/CMakeFiles/pico_core.dir/DilationModel.cpp.o.d"
+  "/root/repo/src/core/TraceModel.cpp" "src/core/CMakeFiles/pico_core.dir/TraceModel.cpp.o" "gcc" "src/core/CMakeFiles/pico_core.dir/TraceModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pico_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pico_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_core.dir/AhhModel.cpp.o"
+  "CMakeFiles/pico_core.dir/AhhModel.cpp.o.d"
+  "CMakeFiles/pico_core.dir/DilationModel.cpp.o"
+  "CMakeFiles/pico_core.dir/DilationModel.cpp.o.d"
+  "CMakeFiles/pico_core.dir/TraceModel.cpp.o"
+  "CMakeFiles/pico_core.dir/TraceModel.cpp.o.d"
+  "libpico_core.a"
+  "libpico_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_dse.dir/CacheSpace.cpp.o"
+  "CMakeFiles/pico_dse.dir/CacheSpace.cpp.o.d"
+  "CMakeFiles/pico_dse.dir/EvaluationCache.cpp.o"
+  "CMakeFiles/pico_dse.dir/EvaluationCache.cpp.o.d"
+  "CMakeFiles/pico_dse.dir/Evaluators.cpp.o"
+  "CMakeFiles/pico_dse.dir/Evaluators.cpp.o.d"
+  "CMakeFiles/pico_dse.dir/Pareto.cpp.o"
+  "CMakeFiles/pico_dse.dir/Pareto.cpp.o.d"
+  "CMakeFiles/pico_dse.dir/Spacewalker.cpp.o"
+  "CMakeFiles/pico_dse.dir/Spacewalker.cpp.o.d"
+  "libpico_dse.a"
+  "libpico_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_ir.dir/Program.cpp.o"
+  "CMakeFiles/pico_ir.dir/Program.cpp.o.d"
+  "libpico_ir.a"
+  "libpico_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

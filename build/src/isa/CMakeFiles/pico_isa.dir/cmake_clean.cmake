@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_isa.dir/Assembler.cpp.o"
+  "CMakeFiles/pico_isa.dir/Assembler.cpp.o.d"
+  "CMakeFiles/pico_isa.dir/InstructionFormat.cpp.o"
+  "CMakeFiles/pico_isa.dir/InstructionFormat.cpp.o.d"
+  "libpico_isa.a"
+  "libpico_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

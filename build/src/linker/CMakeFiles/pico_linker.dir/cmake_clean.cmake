@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_linker.dir/Linker.cpp.o"
+  "CMakeFiles/pico_linker.dir/Linker.cpp.o.d"
+  "libpico_linker.a"
+  "libpico_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_machine.dir/MachineDesc.cpp.o"
+  "CMakeFiles/pico_machine.dir/MachineDesc.cpp.o.d"
+  "libpico_machine.a"
+  "libpico_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

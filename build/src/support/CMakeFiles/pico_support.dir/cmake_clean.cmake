@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_support.dir/Logging.cpp.o"
+  "CMakeFiles/pico_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/pico_support.dir/Table.cpp.o"
+  "CMakeFiles/pico_support.dir/Table.cpp.o.d"
+  "libpico_support.a"
+  "libpico_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

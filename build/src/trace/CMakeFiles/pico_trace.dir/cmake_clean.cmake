@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_trace.dir/ExecutionEngine.cpp.o"
+  "CMakeFiles/pico_trace.dir/ExecutionEngine.cpp.o.d"
+  "CMakeFiles/pico_trace.dir/TraceFile.cpp.o"
+  "CMakeFiles/pico_trace.dir/TraceFile.cpp.o.d"
+  "libpico_trace.a"
+  "libpico_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pico_workloads.dir/AppSpec.cpp.o"
+  "CMakeFiles/pico_workloads.dir/AppSpec.cpp.o.d"
+  "CMakeFiles/pico_workloads.dir/Toolchain.cpp.o"
+  "CMakeFiles/pico_workloads.dir/Toolchain.cpp.o.d"
+  "libpico_workloads.a"
+  "libpico_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pico_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

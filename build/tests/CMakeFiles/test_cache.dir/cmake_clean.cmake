@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache_config_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache_config_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache_sim_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache_sim_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/hierarchy_test.cpp.o"
+  "CMakeFiles/test_cache.dir/hierarchy_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/miss_classifier_test.cpp.o"
+  "CMakeFiles/test_cache.dir/miss_classifier_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/single_pass_test.cpp.o"
+  "CMakeFiles/test_cache.dir/single_pass_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/stack_sim_test.cpp.o"
+  "CMakeFiles/test_cache.dir/stack_sim_test.cpp.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse.dir/evaluation_cache_test.cpp.o"
+  "CMakeFiles/test_dse.dir/evaluation_cache_test.cpp.o.d"
+  "CMakeFiles/test_dse.dir/evaluators_test.cpp.o"
+  "CMakeFiles/test_dse.dir/evaluators_test.cpp.o.d"
+  "CMakeFiles/test_dse.dir/pareto_test.cpp.o"
+  "CMakeFiles/test_dse.dir/pareto_test.cpp.o.d"
+  "CMakeFiles/test_dse.dir/port_model_test.cpp.o"
+  "CMakeFiles/test_dse.dir/port_model_test.cpp.o.d"
+  "CMakeFiles/test_dse.dir/spacewalker_cache_test.cpp.o"
+  "CMakeFiles/test_dse.dir/spacewalker_cache_test.cpp.o.d"
+  "test_dse"
+  "test_dse.pdb"
+  "test_dse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hyperblock_test.cpp" "tests/CMakeFiles/test_toolchain.dir/hyperblock_test.cpp.o" "gcc" "tests/CMakeFiles/test_toolchain.dir/hyperblock_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/test_toolchain.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/test_toolchain.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/test_toolchain.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/test_toolchain.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/linker_test.cpp" "tests/CMakeFiles/test_toolchain.dir/linker_test.cpp.o" "gcc" "tests/CMakeFiles/test_toolchain.dir/linker_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/test_toolchain.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/test_toolchain.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/test_toolchain.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_toolchain.dir/scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pico_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pico_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pico_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/pico_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pico_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/pico_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pico_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pico_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pico_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pico_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/pico_dse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

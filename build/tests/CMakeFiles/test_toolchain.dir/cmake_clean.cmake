@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain.dir/hyperblock_test.cpp.o"
+  "CMakeFiles/test_toolchain.dir/hyperblock_test.cpp.o.d"
+  "CMakeFiles/test_toolchain.dir/ir_test.cpp.o"
+  "CMakeFiles/test_toolchain.dir/ir_test.cpp.o.d"
+  "CMakeFiles/test_toolchain.dir/isa_test.cpp.o"
+  "CMakeFiles/test_toolchain.dir/isa_test.cpp.o.d"
+  "CMakeFiles/test_toolchain.dir/linker_test.cpp.o"
+  "CMakeFiles/test_toolchain.dir/linker_test.cpp.o.d"
+  "CMakeFiles/test_toolchain.dir/machine_test.cpp.o"
+  "CMakeFiles/test_toolchain.dir/machine_test.cpp.o.d"
+  "CMakeFiles/test_toolchain.dir/scheduler_test.cpp.o"
+  "CMakeFiles/test_toolchain.dir/scheduler_test.cpp.o.d"
+  "test_toolchain"
+  "test_toolchain.pdb"
+  "test_toolchain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
