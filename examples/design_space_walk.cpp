@@ -68,5 +68,13 @@ main(int argc, char **argv)
               << " cost-performance optimal. Every cache metric came "
                  "from reference-trace simulation plus the dilation "
                  "model.\n";
+
+    // A failing design is skipped and logged, not fatal: report
+    // whether this walk was complete.
+    if (!result.complete()) {
+        std::cout << "\nWARNING: exploration was partial — "
+                  << result.failures.report();
+        return 1;
+    }
     return 0;
 }

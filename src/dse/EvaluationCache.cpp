@@ -1,12 +1,64 @@
 #include "dse/EvaluationCache.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "support/FaultInjection.hpp"
 #include "support/Logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace pico::dse
 {
+
+namespace
+{
+
+/**
+ * Parse the value list of one database line. Returns false (leaving
+ * `values` unspecified) on any malformed number, so a corrupt entry
+ * quarantines instead of throwing std::invalid_argument through the
+ * loader.
+ */
+bool
+parseValues(const std::string &text, std::vector<double> &values)
+{
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        try {
+            size_t pos = 0;
+            double v = std::stod(item, &pos);
+            if (pos != item.size())
+                return false; // trailing junk in the number
+            values.push_back(v);
+        } catch (const std::exception &) {
+            return false; // std::invalid_argument / out_of_range
+        }
+    }
+    return true;
+}
+
+/** Force file contents to stable storage (best effort). */
+void
+syncFile(const std::string &path)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#else
+    (void)path;
+#endif
+}
+
+} // namespace
 
 EvaluationCache::EvaluationCache(std::string path)
     : path_(std::move(path))
@@ -17,8 +69,17 @@ EvaluationCache::EvaluationCache(std::string path)
 
 EvaluationCache::~EvaluationCache()
 {
-    if (!path_.empty())
-        save();
+    // Persistence during unwind is best-effort only: the database is
+    // a cache, and throwing from a destructor would terminate.
+    try {
+        flush();
+    } catch (const std::exception &e) {
+        warn("evaluation cache '", path_,
+             "' flush failed during unwind: ", e.what());
+    } catch (...) {
+        warn("evaluation cache '", path_,
+             "' flush failed during unwind");
+    }
 }
 
 std::vector<double>
@@ -59,6 +120,7 @@ EvaluationCache::store(const std::string &key,
                 key.find('\n') != std::string::npos,
             "evaluation-cache key contains reserved characters");
     table_[key] = std::move(values);
+    dirty_ = true;
 }
 
 void
@@ -66,39 +128,95 @@ EvaluationCache::save() const
 {
     if (path_.empty())
         return;
-    std::ofstream out(path_, std::ios::trunc);
-    if (!out) {
-        warn("cannot write evaluation cache '", path_, "'");
+    support::faultPoint("EvaluationCache::save:before-write");
+
+    // Atomic-rename protocol: never truncate the live database. A
+    // crash at any point leaves either the old generation (tmp file
+    // ignored by load()) or the new one.
+    std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("cannot write evaluation cache '", tmp, "'");
+            return;
+        }
+        out.precision(17);
+        out << header << '\n';
+        for (const auto &[key, values] : table_) {
+            out << key << '|';
+            for (size_t i = 0; i < values.size(); ++i)
+                out << (i ? "," : "") << values[i];
+            out << '\n';
+        }
+        out.flush();
+        if (!out) {
+            warn("writing evaluation cache '", tmp,
+                 "' failed; previous generation kept");
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    syncFile(tmp);
+    support::faultPoint("EvaluationCache::save:before-rename");
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec) {
+        warn("cannot replace evaluation cache '", path_,
+             "': ", ec.message(), "; previous generation kept");
+        std::filesystem::remove(tmp, ec);
         return;
     }
-    out.precision(17);
-    for (const auto &[key, values] : table_) {
-        out << key << '|';
-        for (size_t i = 0; i < values.size(); ++i)
-            out << (i ? "," : "") << values[i];
-        out << '\n';
-    }
+    dirty_ = false;
+}
+
+void
+EvaluationCache::flush()
+{
+    if (dirty_)
+        save();
 }
 
 void
 EvaluationCache::load()
 {
+    std::error_code ec;
+    if (std::filesystem::exists(path_ + ".tmp", ec))
+        warn("evaluation cache '", path_,
+             "': stale temporary from an interrupted save ignored");
+
     std::ifstream in(path_);
     if (!in)
         return; // first run; the file appears on save()
     std::string line;
+    bool first = true;
+    uint64_t lineNo = 0;
     while (std::getline(in, line)) {
-        auto bar = line.find('|');
-        if (bar == std::string::npos)
+        ++lineNo;
+        // v2 files start with a version header; headerless v1 files
+        // begin directly with entries.
+        if (first) {
+            first = false;
+            if (line == header)
+                continue;
+        }
+        if (line.empty())
             continue;
-        std::string key = line.substr(0, bar);
+        auto bar = line.find('|');
         std::vector<double> values;
-        std::stringstream ss(line.substr(bar + 1));
-        std::string item;
-        while (std::getline(ss, item, ','))
-            values.push_back(std::stod(item));
-        table_[key] = std::move(values);
+        if (bar == std::string::npos || bar == 0 ||
+            !parseValues(line.substr(bar + 1), values)) {
+            ++quarantinedEntries_;
+            continue;
+        }
+        table_[line.substr(0, bar)] = std::move(values);
+        ++loadedEntries_;
     }
+    if (quarantinedEntries_ > 0)
+        warn("evaluation cache '", path_, "': salvaged ",
+             loadedEntries_, " entr(ies), quarantined ",
+             quarantinedEntries_, " corrupt line(s)");
 }
 
 } // namespace pico::dse

@@ -6,6 +6,21 @@
  * constantly; results are memoized in memory and, when a path is
  * given, persisted to a plain-text database so later runs skip the
  * simulations entirely (section 5.1).
+ *
+ * The database carries the hours of exploration state a crash must
+ * not destroy, so persistence is crash-safe:
+ *
+ *  - saves are atomic: the table is written to `<path>.tmp`, synced
+ *    to stable storage, then renamed over the database, so a reader
+ *    always sees either the old or the new generation — never a
+ *    half-written file;
+ *  - the file starts with a version header
+ *    (`picoeval-evalcache-v2`); headerless v1 files still load;
+ *  - loading validates every entry and salvages the good ones —
+ *    corrupt lines are quarantined (counted and warned about), never
+ *    thrown through;
+ *  - the destructor flushes pending entries but never throws during
+ *    unwind.
  */
 
 #ifndef PICO_DSE_EVALUATION_CACHE_HPP
@@ -24,13 +39,17 @@ namespace pico::dse
 class EvaluationCache
 {
   public:
+    /** Magic first line of the version-2 database format. */
+    static constexpr const char *header = "picoeval-evalcache-v2";
+
     /**
      * @param path database file; empty keeps the cache in memory
-     *        only. An existing file is loaded eagerly.
+     *        only. An existing file is loaded eagerly (corrupt
+     *        entries are quarantined, not fatal).
      */
     explicit EvaluationCache(std::string path = "");
 
-    /** Destructor persists the database when a path was given. */
+    /** Flushes pending entries; never throws during unwind. */
     ~EvaluationCache();
 
     /**
@@ -49,12 +68,31 @@ class EvaluationCache
     /** Insert or overwrite an entry. */
     void store(const std::string &key, std::vector<double> values);
 
-    /** Write the database to its file now (no-op when memory-only). */
+    /**
+     * Write the database atomically now (no-op when memory-only).
+     * I/O errors are warned about and leave the previous generation
+     * intact.
+     */
     void save() const;
+
+    /**
+     * Persist unsaved entries (checkpoint). Cheap when nothing
+     * changed since the last save; the walkers call this
+     * periodically so an interrupted run resumes from the last
+     * checkpoint rather than losing everything.
+     */
+    void flush();
 
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
     size_t size() const { return table_.size(); }
+
+    /** Entries salvaged from the database file at load time. */
+    uint64_t loadedEntries() const { return loadedEntries_; }
+    /** Corrupt database lines skipped at load time. */
+    uint64_t quarantinedEntries() const { return quarantinedEntries_; }
+    /** Entries stored since the last successful save. */
+    bool dirty() const { return dirty_; }
 
   private:
     void load();
@@ -63,6 +101,9 @@ class EvaluationCache
     std::unordered_map<std::string, std::vector<double>> table_;
     mutable uint64_t hits_ = 0;
     mutable uint64_t misses_ = 0;
+    uint64_t loadedEntries_ = 0;
+    uint64_t quarantinedEntries_ = 0;
+    mutable bool dirty_ = false;
 };
 
 } // namespace pico::dse

@@ -1,0 +1,33 @@
+#include "dse/FailureLog.hpp"
+
+#include <sstream>
+
+#include "support/Logging.hpp"
+
+namespace pico::dse
+{
+
+void
+FailureLog::record(std::string design, std::string stage,
+                   std::string reason)
+{
+    warn("design '", design, "' failed during ", stage, ": ", reason,
+         " (walk continues)");
+    entries_.push_back(
+        {std::move(design), std::move(stage), std::move(reason)});
+}
+
+std::string
+FailureLog::report() const
+{
+    if (entries_.empty())
+        return "";
+    std::ostringstream oss;
+    oss << entries_.size() << " design(s) failed:\n";
+    for (const auto &e : entries_)
+        oss << "  " << e.design << " [" << e.stage
+            << "]: " << e.reason << "\n";
+    return oss.str();
+}
+
+} // namespace pico::dse

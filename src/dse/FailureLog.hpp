@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-design failure accounting for design-space walks.
+ *
+ * One infeasible or failing design must not destroy a walk that
+ * evaluates thousands of others: the walkers catch per-design
+ * errors, record them here (design name, pipeline stage, reason)
+ * and keep going. Callers inspect the log afterwards to decide
+ * whether the exploration was complete.
+ */
+
+#ifndef PICO_DSE_FAILURE_LOG_HPP
+#define PICO_DSE_FAILURE_LOG_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pico::dse
+{
+
+/** One recorded per-design failure. */
+struct FailureRecord
+{
+    /** Design identifier (machine name, cache config id, ...). */
+    std::string design;
+    /** Pipeline stage that failed (e.g. "metrics", "compose"). */
+    std::string stage;
+    /** The underlying error message. */
+    std::string reason;
+};
+
+/** Append-only log of per-design failures in one exploration. */
+class FailureLog
+{
+  public:
+    /** Record one failure (also warn()s so long runs show it live). */
+    void record(std::string design, std::string stage,
+                std::string reason);
+
+    const std::vector<FailureRecord> &entries() const
+    {
+        return entries_;
+    }
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+
+    /** Multi-line human-readable report ("" when empty). */
+    std::string report() const;
+
+  private:
+    std::vector<FailureRecord> entries_;
+};
+
+} // namespace pico::dse
+
+#endif // PICO_DSE_FAILURE_LOG_HPP

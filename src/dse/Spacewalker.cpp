@@ -1,6 +1,7 @@
 #include "dse/Spacewalker.hpp"
 
 #include "compiler/Scheduler.hpp"
+#include "support/FaultInjection.hpp"
 #include "support/Logging.hpp"
 #include "trace/TraceGenerator.hpp"
 #include "workloads/Toolchain.hpp"
@@ -39,7 +40,8 @@ MemoryWalker::stallCycles(const cache::CacheConfig &icache,
 }
 
 ParetoSet
-MemoryWalker::pareto(double dilation, uint32_t dcache_ports) const
+MemoryWalker::pareto(double dilation, uint32_t dcache_ports,
+                     FailureLog *failures) const
 {
     // Subsystem Pareto fronts first: with additive cost and additive
     // stall time, any hierarchy containing a dominated component is
@@ -70,23 +72,45 @@ MemoryWalker::pareto(double dilation, uint32_t dcache_ports) const
         return kept;
     };
 
+    // With a failure log, one unevaluable cache configuration is
+    // recorded and skipped; without one the error propagates.
+    auto offer = [&](std::vector<Candidate> &cands,
+                     const cache::CacheConfig &cfg, std::string id,
+                     auto &&stall_cycles) {
+        if (!failures) {
+            cands.push_back(
+                {cfg, id, cfg.areaCost(), stall_cycles()});
+            return;
+        }
+        try {
+            cands.push_back(
+                {cfg, id, cfg.areaCost(), stall_cycles()});
+        } catch (const PanicError &) {
+            throw; // internal bugs always propagate
+        } catch (const std::exception &e) {
+            failures->record(id, "memory-pareto", e.what());
+        }
+    };
+
     std::vector<Candidate> i_cands, d_cands, u_cands;
     for (const auto &cfg : spaces_.icache.enumerate()) {
-        i_cands.push_back({cfg, "I$" + cfg.name(), cfg.areaCost(),
-                           icacheEval_.misses(cfg, dilation) *
-                               stalls_.l2HitLatency});
+        offer(i_cands, cfg, "I$" + cfg.name(), [&] {
+            return icacheEval_.misses(cfg, dilation) *
+                   stalls_.l2HitLatency;
+        });
     }
     for (const auto &cfg : spaces_.dcache.enumerate()) {
         if (dcache_ports != 0 && cfg.ports != dcache_ports)
             continue;
-        d_cands.push_back({cfg, "D$" + cfg.name(), cfg.areaCost(),
-                           dcacheEval_.misses(cfg) *
-                               stalls_.l2HitLatency});
+        offer(d_cands, cfg, "D$" + cfg.name(), [&] {
+            return dcacheEval_.misses(cfg) * stalls_.l2HitLatency;
+        });
     }
     for (const auto &cfg : spaces_.ucache.enumerate()) {
-        u_cands.push_back({cfg, "U$" + cfg.name(), cfg.areaCost(),
-                           ucacheEval_.misses(cfg, dilation) *
-                               stalls_.memoryLatency});
+        offer(u_cands, cfg, "U$" + cfg.name(), [&] {
+            return ucacheEval_.misses(cfg, dilation) *
+                   stalls_.memoryLatency;
+        });
     }
 
     ParetoSet out;
@@ -185,65 +209,103 @@ Spacewalker::explore(const ir::Program &prog)
 
     ExplorationResult result;
     for (const auto &name : machineNames_) {
-        auto mdes = MachineDesc::fromName(name);
-        auto &cls = classFor(mdes);
+        // One infeasible or failing design must not destroy the
+        // walk: every per-design error is recorded in the
+        // FailureLog and the exploration continues. Results commit
+        // atomically per design — a machine that fails mid-compose
+        // contributes no points at all.
+        const char *stage = "machine-description";
+        try {
+            support::faultPoint("Spacewalker::evaluateDesign");
+            auto mdes = MachineDesc::fromName(name);
+            stage = "reference-setup";
+            auto &cls = classFor(mdes);
 
-        // Per-machine metrics flow through the EvaluationCache
-        // (section 5.1): a hit skips the whole compile/assemble/
-        // link of this machine.
-        std::string key = "proc;" + prog.name + ";s" +
-                          std::to_string(prog.seed) + ";" + name;
-        for (uint32_t ports : spaces_.dcache.portCounts)
-            key += ";p" + std::to_string(ports);
-        auto metrics = cache_.getOrCompute(key, [&]() {
-            auto build = workloads::buildFor(cls.prog, mdes);
-            std::vector<double> v;
-            v.push_back(linker::textDilation(build.bin,
-                                             cls.refBuild.bin));
-            v.push_back(
-                static_cast<double>(build.processorCycles));
-            for (uint32_t ports : spaces_.dcache.portCounts) {
-                v.push_back(static_cast<double>(
-                    compiler::Scheduler::processorCycles(
-                        cls.prog, build.sched, ports)));
+            // Per-machine metrics flow through the EvaluationCache
+            // (section 5.1): a hit skips the whole compile/assemble/
+            // link of this machine.
+            stage = "metrics";
+            std::string key = "proc;" + prog.name + ";s" +
+                              std::to_string(prog.seed) + ";" + name;
+            for (uint32_t ports : spaces_.dcache.portCounts)
+                key += ";p" + std::to_string(ports);
+            auto metrics = cache_.getOrCompute(key, [&]() {
+                auto build = workloads::buildFor(cls.prog, mdes);
+                std::vector<double> v;
+                v.push_back(linker::textDilation(build.bin,
+                                                 cls.refBuild.bin));
+                v.push_back(
+                    static_cast<double>(build.processorCycles));
+                for (uint32_t ports : spaces_.dcache.portCounts) {
+                    v.push_back(static_cast<double>(
+                        compiler::Scheduler::processorCycles(
+                            cls.prog, build.sched, ports)));
+                }
+                return v;
+            });
+
+            double dilation = metrics[0];
+            DesignPoint proc;
+            proc.id = "P" + name;
+            proc.cost = mdes.cost();
+            proc.time = metrics[1];
+
+            // Compose systems per data-cache port constraint: ports
+            // couple the cache to the processor's memory issue rate.
+            stage = "compose";
+            std::vector<DesignPoint> systems;
+            for (size_t pi = 0;
+                 pi < spaces_.dcache.portCounts.size(); ++pi) {
+                uint32_t ports = spaces_.dcache.portCounts[pi];
+                double cycles = metrics[2 + pi];
+                ParetoSet mem = cls.memory->pareto(
+                    dilation, ports, &result.failures);
+                for (const auto &hierarchy : mem.points()) {
+                    DesignPoint sys;
+                    sys.id = proc.id + "+" + hierarchy.id;
+                    sys.cost = proc.cost + hierarchy.cost;
+                    sys.time = cycles + hierarchy.time;
+                    systems.push_back(sys);
+                }
             }
-            return v;
-        });
 
-        double dilation = metrics[0];
-        result.dilations[name] = dilation;
-        result.processorCycles[name] =
-            static_cast<uint64_t>(metrics[1]);
-
-        DesignPoint proc;
-        proc.id = "P" + name;
-        proc.cost = mdes.cost();
-        proc.time = metrics[1];
-        result.processors.insertPoint(proc);
-
-        // Compose systems per data-cache port constraint: ports
-        // couple the cache to the processor's memory issue rate.
-        for (size_t pi = 0; pi < spaces_.dcache.portCounts.size();
-             ++pi) {
-            uint32_t ports = spaces_.dcache.portCounts[pi];
-            double cycles = metrics[2 + pi];
-            ParetoSet mem = cls.memory->pareto(dilation, ports);
-            for (const auto &hierarchy : mem.points()) {
-                DesignPoint sys;
-                sys.id = proc.id + "+" + hierarchy.id;
-                sys.cost = proc.cost + hierarchy.cost;
-                sys.time = cycles + hierarchy.time;
+            result.dilations[name] = dilation;
+            result.processorCycles[name] =
+                static_cast<uint64_t>(metrics[1]);
+            result.processors.insertPoint(proc);
+            for (const auto &sys : systems)
                 result.systems.insertPoint(sys);
-            }
+        } catch (const PanicError &) {
+            throw; // internal bugs always propagate
+        } catch (const std::exception &e) {
+            if (options_.haltOnFailure)
+                throw;
+            result.failures.record(name, stage, e.what());
+            continue;
         }
+
+        // Periodic checkpoint: an interrupted run resumes from the
+        // evaluation cache's last flushed generation.
+        ++result.evaluatedDesigns;
+        if (options_.checkpointEvery != 0 &&
+            result.evaluatedDesigns % options_.checkpointEvery == 0)
+            cache_.flush();
     }
+    cache_.flush();
+
+    if (!result.failures.empty())
+        warn("exploration partial: ", result.failures.size(),
+             " failure(s) across ", machineNames_.size(),
+             " design(s); ", result.evaluatedDesigns, " evaluated");
 
     // Keep the base class's walker accessible for callers that want
     // to inspect the memory design space after exploration.
-    auto base = classes.find(false);
-    if (base == classes.end())
-        base = classes.begin();
-    memory_ = std::move(base->second->memory);
+    if (!classes.empty()) {
+        auto base = classes.find(false);
+        if (base == classes.end())
+            base = classes.begin();
+        memory_ = std::move(base->second->memory);
+    }
     return result;
 }
 

@@ -23,6 +23,7 @@
 
 #include "dse/EvaluationCache.hpp"
 #include "dse/Evaluators.hpp"
+#include "dse/FailureLog.hpp"
 #include "dse/Pareto.hpp"
 #include "ir/Program.hpp"
 #include "machine/MachineDesc.hpp"
@@ -77,9 +78,13 @@ class MemoryWalker
      * @param dcache_ports restrict data caches to this port count
      *        (0 = no restriction); the paper's Pareto sets are
      *        parameterized by cache port constraints
+     * @param failures when given, a cache configuration whose
+     *        evaluation fails is recorded there and skipped instead
+     *        of aborting the whole Pareto construction; without a
+     *        log the error propagates (the historical behavior)
      */
-    ParetoSet pareto(double dilation,
-                     uint32_t dcache_ports = 0) const;
+    ParetoSet pareto(double dilation, uint32_t dcache_ports = 0,
+                     FailureLog *failures = nullptr) const;
 
     const IcacheEvaluator &icache() const { return icacheEval_; }
     const DcacheEvaluator &dcache() const { return dcacheEval_; }
@@ -103,6 +108,13 @@ struct ExplorationResult
     std::map<std::string, double> dilations;
     /** Processor cycles per machine name. */
     std::map<std::string, uint64_t> processorCycles;
+    /** Designs evaluated successfully. */
+    uint64_t evaluatedDesigns = 0;
+    /** Per-design failures the walk survived (empty = complete). */
+    FailureLog failures;
+
+    /** True when every design of the walk evaluated cleanly. */
+    bool complete() const { return failures.empty(); }
 };
 
 /** Exploration driver for one application. */
@@ -127,6 +139,18 @@ class Spacewalker
          * paper's EvaluationCache layer (section 5.1).
          */
         std::string evaluationCachePath;
+        /**
+         * Checkpoint the evaluation cache every N successfully
+         * evaluated designs (0 = only at the end of explore()), so
+         * an interrupted run resumes from the last checkpoint
+         * instead of losing the whole walk.
+         */
+        uint64_t checkpointEvery = 8;
+        /**
+         * Rethrow per-design failures instead of recording them in
+         * the FailureLog and continuing (debugging aid).
+         */
+        bool haltOnFailure = false;
     };
 
     Spacewalker(MemorySpaces spaces,

@@ -1,15 +1,64 @@
 #include "trace/TraceFile.hpp"
 
-#include <iomanip>
+#include <sstream>
+
+#include "support/FaultInjection.hpp"
 
 namespace pico::trace
 {
 
+uint64_t
+traceChecksumStep(uint64_t sum, int kind, uint64_t addr)
+{
+    constexpr uint64_t prime = 0x100000001b3ULL;
+    sum ^= static_cast<uint64_t>(kind) & 0xff;
+    sum *= prime;
+    for (int i = 0; i < 8; ++i) {
+        sum ^= (addr >> (8 * i)) & 0xff;
+        sum *= prime;
+    }
+    return sum;
+}
+
+std::string
+TraceCorruptionSummary::describe() const
+{
+    std::ostringstream oss;
+    oss << recordsRead << " record(s) read";
+    if (corruptLines > 0)
+        oss << ", " << corruptLines << " corrupt line(s) skipped";
+    if (footerMissing)
+        oss << ", footer missing (file truncated)";
+    if (countMismatch)
+        oss << ", footer expected " << expectedRecords
+            << " record(s)";
+    if (checksumMismatch)
+        oss << ", checksum mismatch";
+    uint64_t dropped = droppedRecords();
+    if (dropped > 0)
+        oss << "; " << dropped << " record(s) dropped";
+    if (clean())
+        oss << "; clean";
+    return oss.str();
+}
+
+// --- TraceFileWriter ---------------------------------------------------
+
 TraceFileWriter::TraceFileWriter(const std::string &path)
-    : out_(path, std::ios::trunc)
+    : path_(path), out_(path, std::ios::trunc)
 {
     fatalIf(!out_, "cannot open trace file '", path, "' for writing");
-    out_ << header << '\n';
+    out_ << traceHeaderV2 << '\n';
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    try {
+        close();
+    } catch (const std::exception &e) {
+        warn("trace file '", path_,
+             "' close failed during unwind: ", e.what());
+    }
 }
 
 void
@@ -17,39 +66,179 @@ TraceFileWriter::write(const Access &a)
 {
     int kind = a.isInstr ? 2 : (a.isWrite ? 1 : 0);
     out_ << kind << ' ' << std::hex << a.addr << std::dec << '\n';
+    checksum_ = traceChecksumStep(checksum_, kind, a.addr);
     ++count_;
 }
 
 void
 TraceFileWriter::close()
 {
-    if (out_.is_open()) {
-        out_.flush();
-        fatalIf(!out_, "trace file write failed");
-        out_.close();
-    }
+    if (!out_.is_open())
+        return;
+    support::faultPoint("TraceFileWriter::close:before-footer");
+    out_ << traceFooterTag << ' ' << count_ << ' ' << std::hex
+         << checksum_ << std::dec << '\n';
+    out_.flush();
+    fatalIf(!out_, "trace file write failed");
+    out_.close();
 }
 
-TraceFileReader::TraceFileReader(const std::string &path) : in_(path)
+// --- TraceFileReader ---------------------------------------------------
+
+namespace
+{
+
+/** Strict whole-line parse of `<kind> <hex-address>`. */
+bool
+parseRecord(const std::string &line, int &kind, uint64_t &addr)
+{
+    std::istringstream iss(line);
+    if (!(iss >> kind >> std::hex >> addr))
+        return false;
+    if (kind < 0 || kind > 2)
+        return false;
+    std::string rest;
+    return !(iss >> rest); // trailing junk is corruption
+}
+
+/** Strict whole-line parse of `%footer <count> <checksum>`. */
+bool
+parseFooter(const std::string &line, uint64_t &count, uint64_t &sum)
+{
+    std::istringstream iss(line);
+    std::string tag;
+    if (!(iss >> tag >> count >> std::hex >> sum))
+        return false;
+    if (tag != traceFooterTag)
+        return false;
+    std::string rest;
+    return !(iss >> rest);
+}
+
+/** Shorten a corrupt line for an error message. */
+std::string
+excerpt(const std::string &line)
+{
+    constexpr size_t maxLen = 32;
+    if (line.size() <= maxLen)
+        return line;
+    return line.substr(0, maxLen) + "...";
+}
+
+} // namespace
+
+TraceFileReader::TraceFileReader(const std::string &path,
+                                 TraceReadMode mode)
+    : path_(path), in_(path), mode_(mode)
 {
     fatalIf(!in_, "cannot open trace file '", path, "'");
     std::string line;
     fatalIf(!std::getline(in_, line) ||
-                line != TraceFileWriter::header,
+                (line != traceHeaderV1 && line != traceHeaderV2),
             "'", path, "' is not a picoeval trace file");
+    version_ = line == traceHeaderV2 ? 2 : 1;
+    nextByte_ = line.size() + 1;
+}
+
+void
+TraceFileReader::corruptionError(const std::string &what,
+                                 const std::string &line)
+{
+    std::string detail = line.empty() ? "" : ": '" + excerpt(line) + "'";
+    fatal("trace '", path_, "' line ", lineNo_, " (byte ",
+          lineStartByte_, "): ", what, detail);
+}
+
+void
+TraceFileReader::finish()
+{
+    finished_ = true;
+    if (mode_ == TraceReadMode::Lenient && !summary_.clean())
+        warn("trace '", path_, "': ", summary_.describe());
 }
 
 bool
 TraceFileReader::next(Access &a)
 {
-    int kind;
-    if (!(in_ >> kind >> std::hex >> a.addr))
-        return false;
-    in_ >> std::dec;
-    fatalIf(kind < 0 || kind > 2, "corrupt trace record");
-    a.isInstr = kind == 2;
-    a.isWrite = kind == 1;
-    return true;
+    std::string line;
+    while (!finished_) {
+        if (!std::getline(in_, line)) {
+            if (version_ == 2 && !sawFooter_) {
+                summary_.footerMissing = true;
+                ++lineNo_;
+                lineStartByte_ = nextByte_;
+                if (mode_ == TraceReadMode::Strict)
+                    corruptionError(
+                        "truncated: end of file without a footer",
+                        "");
+            }
+            finish();
+            return false;
+        }
+        ++lineNo_;
+        lineStartByte_ = nextByte_;
+        nextByte_ += line.size() + 1;
+
+        if (version_ == 2 &&
+            line.compare(0, std::char_traits<char>::length(
+                                traceFooterTag),
+                         traceFooterTag) == 0) {
+            uint64_t count = 0, sum = 0;
+            if (!parseFooter(line, count, sum)) {
+                summary_.footerMissing = true;
+                if (mode_ == TraceReadMode::Strict)
+                    corruptionError("malformed footer", line);
+                finish();
+                return false;
+            }
+            sawFooter_ = true;
+            summary_.expectedRecords = count;
+            if (count != summary_.recordsRead) {
+                summary_.countMismatch = true;
+                if (mode_ == TraceReadMode::Strict)
+                    corruptionError(
+                        detail::concat("footer expects ", count,
+                                       " record(s) but ",
+                                       summary_.recordsRead,
+                                       " were read"),
+                        "");
+            }
+            if (sum != checksum_) {
+                summary_.checksumMismatch = true;
+                if (mode_ == TraceReadMode::Strict)
+                    corruptionError("checksum mismatch", "");
+            }
+            std::string extra;
+            if (std::getline(in_, extra)) {
+                ++summary_.corruptLines;
+                if (mode_ == TraceReadMode::Strict)
+                    corruptionError("trailing data after footer",
+                                    extra);
+            }
+            finish();
+            return false;
+        }
+
+        int kind = 0;
+        uint64_t addr = 0;
+        if (!parseRecord(line, kind, addr)) {
+            ++summary_.corruptLines;
+            if (mode_ == TraceReadMode::Strict)
+                corruptionError("malformed trace record", line);
+            if (warned_++ < 3)
+                warn("trace '", path_, "' line ", lineNo_, " (byte ",
+                     lineStartByte_, "): skipping malformed record '",
+                     excerpt(line), "'");
+            continue;
+        }
+        checksum_ = traceChecksumStep(checksum_, kind, addr);
+        ++summary_.recordsRead;
+        a.addr = addr;
+        a.isInstr = kind == 2;
+        a.isWrite = kind == 1;
+        return true;
+    }
+    return false;
 }
 
 } // namespace pico::trace

@@ -8,12 +8,29 @@
  * it into any number of simulators later, or exchange traces with
  * external tools. The format is a dinero-like text form — one record
  * per line, `<kind> <hex-address>` with kind 0 = data read, 1 = data
- * write, 2 = instruction fetch — plus a one-line header.
+ * write, 2 = instruction fetch.
+ *
+ * Two format versions exist:
+ *
+ *  - v1 (`picoeval-trace-v1`): header + records only. A truncated v1
+ *    file that ends on a line boundary is indistinguishable from a
+ *    complete one — the motivation for v2.
+ *  - v2 (`picoeval-trace-v2`): adds a footer line
+ *    `%footer <record-count> <fnv1a64-checksum>` so truncation,
+ *    bit-flips and dropped records are always detected. The writer
+ *    emits v2; the reader accepts both.
+ *
+ * The reader never reports corruption as a clean end-of-file. In
+ * Strict mode (the default) any malformed record, missing footer or
+ * checksum/count mismatch raises FatalError naming the line and byte
+ * position; in Lenient mode corrupt records are skipped with a
+ * warning and an exact accounting is available from summary().
  */
 
 #ifndef PICO_TRACE_TRACE_FILE_HPP
 #define PICO_TRACE_TRACE_FILE_HPP
 
+#include <cstdint>
 #include <fstream>
 #include <string>
 
@@ -23,15 +40,80 @@
 namespace pico::trace
 {
 
-/** Streams accesses to a trace file. */
+/** Magic first line of a version-1 trace file. */
+inline constexpr const char *traceHeaderV1 = "picoeval-trace-v1";
+/** Magic first line of a version-2 trace file. */
+inline constexpr const char *traceHeaderV2 = "picoeval-trace-v2";
+/** First token of the v2 footer line. */
+inline constexpr const char *traceFooterTag = "%footer";
+
+/** FNV-1a 64 running checksum over one trace record. */
+uint64_t traceChecksumStep(uint64_t sum, int kind, uint64_t addr);
+
+/** Initial value of the running trace checksum. */
+inline constexpr uint64_t traceChecksumSeed = 0xcbf29ce484222325ULL;
+
+/** How a TraceFileReader reacts to corruption. */
+enum class TraceReadMode
+{
+    /** FatalError on the first corrupt record/footer (default). */
+    Strict,
+    /** Skip corrupt records, warn, and account in summary(). */
+    Lenient,
+};
+
+/** Exact accounting of what a reader saw (Lenient mode). */
+struct TraceCorruptionSummary
+{
+    /** Records delivered to the caller. */
+    uint64_t recordsRead = 0;
+    /** Malformed record lines skipped. */
+    uint64_t corruptLines = 0;
+    /** Footer record count (0 when the footer did not survive). */
+    uint64_t expectedRecords = 0;
+    /** v2 file ended without a (parseable) footer — truncated. */
+    bool footerMissing = false;
+    /** Footer checksum did not match the surviving records. */
+    bool checksumMismatch = false;
+    /** Footer count did not match the records delivered. */
+    bool countMismatch = false;
+
+    /** True when the file read back with no corruption at all. */
+    bool
+    clean() const
+    {
+        return corruptLines == 0 && !footerMissing &&
+               !checksumMismatch && !countMismatch;
+    }
+
+    /**
+     * Records lost to corruption: exact (footer count minus records
+     * delivered) while the footer survived, otherwise the count of
+     * skipped lines (a lower bound under tail truncation).
+     */
+    uint64_t
+    droppedRecords() const
+    {
+        if (expectedRecords > 0)
+            return expectedRecords > recordsRead
+                       ? expectedRecords - recordsRead
+                       : 0;
+        return corruptLines;
+    }
+
+    /** One-line human-readable report. */
+    std::string describe() const;
+};
+
+/** Streams accesses to a trace file (always writes format v2). */
 class TraceFileWriter
 {
   public:
-    /** Magic first line of the format. */
-    static constexpr const char *header = "picoeval-trace-v1";
-
     /** Open (and truncate) the file; fatal() on failure. */
     explicit TraceFileWriter(const std::string &path);
+
+    /** Closes (writing the footer); never throws during unwind. */
+    ~TraceFileWriter();
 
     /** Append one access. */
     void write(const Access &a);
@@ -42,24 +124,36 @@ class TraceFileWriter
     /** Records written so far. */
     uint64_t count() const { return count_; }
 
-    /** Flush and close; implicit in the destructor. */
+    /** Write the footer, flush and close; fatal() on write failure. */
     void close();
 
   private:
+    std::string path_;
     std::ofstream out_;
     uint64_t count_ = 0;
+    uint64_t checksum_ = traceChecksumSeed;
 };
 
-/** Replays a trace file into a sink. */
+/** Replays a trace file into a sink; reads formats v1 and v2. */
 class TraceFileReader
 {
   public:
-    /** Open the file; fatal() on failure or a bad header. */
-    explicit TraceFileReader(const std::string &path);
+    /**
+     * Open the file; fatal() on failure or a bad header.
+     * @param mode corruption handling (Strict raises, Lenient skips)
+     */
+    explicit TraceFileReader(const std::string &path,
+                             TraceReadMode mode =
+                                 TraceReadMode::Strict);
 
     /**
      * Read the next access.
-     * @return false at end of file
+     *
+     * Corruption is never reported as a clean end: Strict mode
+     * raises FatalError with the line/byte position; Lenient mode
+     * skips the record and keeps reading.
+     *
+     * @return false at (verified) end of trace
      */
     bool next(Access &a);
 
@@ -80,8 +174,30 @@ class TraceFileReader
         return n;
     }
 
+    /** Format version of the open file (1 or 2). */
+    int version() const { return version_; }
+
+    /** Corruption accounting; fully populated once next() returned
+     *  false. */
+    const TraceCorruptionSummary &summary() const { return summary_; }
+
   private:
+    [[noreturn]] void corruptionError(const std::string &what,
+                                      const std::string &line);
+    void finish();
+
+    std::string path_;
     std::ifstream in_;
+    TraceReadMode mode_;
+    int version_ = 1;
+    bool finished_ = false;
+    bool sawFooter_ = false;
+    uint64_t lineNo_ = 1;       ///< line just read (header = 1)
+    uint64_t lineStartByte_ = 0; ///< byte offset of that line
+    uint64_t nextByte_ = 0;      ///< byte offset one past it
+    uint64_t checksum_ = traceChecksumSeed;
+    uint64_t warned_ = 0;
+    TraceCorruptionSummary summary_;
 };
 
 } // namespace pico::trace

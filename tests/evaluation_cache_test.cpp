@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "dse/EvaluationCache.hpp"
 #include "support/Logging.hpp"
@@ -110,6 +111,89 @@ TEST(EvaluationCache, MemoryOnlyNeverTouchesDisk)
     EvaluationCache cache;
     cache.store("k", {1.0});
     EXPECT_NO_THROW(cache.save());
+}
+
+TEST(EvaluationCache, SavesVersionedHeaderAtomically)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_eval_cache_hdr.db";
+    std::filesystem::remove(path);
+    {
+        EvaluationCache cache(path.string());
+        cache.store("k", {1.0});
+        cache.flush();
+        EXPECT_FALSE(cache.dirty());
+        // The atomic-rename protocol leaves no temporary behind.
+        EXPECT_FALSE(
+            std::filesystem::exists(path.string() + ".tmp"));
+    }
+    std::ifstream in(path);
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first, EvaluationCache::header);
+    std::filesystem::remove(path);
+}
+
+TEST(EvaluationCache, SalvagesGoodEntriesFromCorruptFile)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_eval_cache_corrupt.db";
+    {
+        std::ofstream out(path);
+        out << EvaluationCache::header << "\n"
+            << "good|1.5,2.5\n"
+            << "bad|notanumber\n"
+            << "trailing|1.5junk\n"
+            << "nobar\n"
+            << "|emptykey\n"
+            << "alsogood|3\n";
+    }
+    // No std::invalid_argument leaks out of load(); good entries
+    // survive, bad ones are quarantined.
+    EvaluationCache cache(path.string());
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.loadedEntries(), 2u);
+    EXPECT_EQ(cache.quarantinedEntries(), 4u);
+    std::vector<double> v;
+    ASSERT_TRUE(cache.lookup("good", v));
+    EXPECT_EQ(v, (std::vector<double>{1.5, 2.5}));
+    ASSERT_TRUE(cache.lookup("alsogood", v));
+    EXPECT_EQ(v, std::vector<double>{3.0});
+    std::filesystem::remove(path);
+}
+
+TEST(EvaluationCache, LoadsHeaderlessV1Files)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_eval_cache_v1.db";
+    {
+        std::ofstream out(path);
+        out << "legacy|4.5\nother|1,2\n";
+    }
+    EvaluationCache cache(path.string());
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.quarantinedEntries(), 0u);
+    std::vector<double> v;
+    ASSERT_TRUE(cache.lookup("legacy", v));
+    EXPECT_EQ(v, std::vector<double>{4.5});
+    std::filesystem::remove(path);
+}
+
+TEST(EvaluationCache, FlushIsIdempotentAndTracksDirtiness)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_eval_cache_flush.db";
+    std::filesystem::remove(path);
+    EvaluationCache cache(path.string());
+    EXPECT_FALSE(cache.dirty());
+    cache.flush(); // nothing to do, nothing written
+    EXPECT_FALSE(std::filesystem::exists(path));
+    cache.store("k", {1.0});
+    EXPECT_TRUE(cache.dirty());
+    cache.flush();
+    EXPECT_FALSE(cache.dirty());
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::filesystem::remove(path);
 }
 
 } // namespace

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Fault-injection tests: the harness itself, plus every recovery
+ * path it exists to exercise — trace corruption detection (strict
+ * and lenient), crash-safe evaluation-cache persistence, and
+ * per-design failure isolation in the spacewalker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dse/EvaluationCache.hpp"
+#include "dse/Spacewalker.hpp"
+#include "support/FaultInjection.hpp"
+#include "trace/TraceFile.hpp"
+#include "workloads/AppSpec.hpp"
+#include "workloads/Toolchain.hpp"
+
+namespace pico
+{
+namespace
+{
+
+using support::FaultInjector;
+using support::ScopedFault;
+
+class FaultInjection : public ::testing::Test
+{
+  protected:
+    void TearDown() override { FaultInjector::instance().reset(); }
+
+    static std::filesystem::path
+    tmpFile(const std::string &name)
+    {
+        return std::filesystem::temp_directory_path() / name;
+    }
+
+    static void
+    writeFile(const std::filesystem::path &p,
+              const std::string &content)
+    {
+        std::ofstream out(p,
+                          std::ios::trunc | std::ios::binary);
+        out << content;
+    }
+
+    /** Replace one line (0-based, header = 0) of a text file. */
+    static void
+    replaceLine(const std::filesystem::path &p, size_t index,
+                const std::string &replacement)
+    {
+        std::ifstream in(p);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        in.close();
+        ASSERT_LT(index, lines.size());
+        lines[index] = replacement;
+        std::ostringstream joined;
+        for (const auto &l : lines)
+            joined << l << '\n';
+        writeFile(p, joined.str());
+    }
+
+    /** Write a small v2 trace and return the record set. */
+    static std::vector<trace::Access>
+    writeTrace(const std::filesystem::path &p, size_t n = 20)
+    {
+        std::vector<trace::Access> accesses;
+        trace::TraceFileWriter writer(p.string());
+        for (size_t i = 0; i < n; ++i) {
+            trace::Access a;
+            a.addr = 0x1000 + 4 * i;
+            a.isInstr = i % 3 == 0;
+            a.isWrite = !a.isInstr && i % 3 == 1;
+            writer.write(a);
+            accesses.push_back(a);
+        }
+        writer.close();
+        return accesses;
+    }
+};
+
+// --- the injector itself ----------------------------------------------
+
+TEST_F(FaultInjection, UnarmedSitesAreFree)
+{
+    EXPECT_NO_THROW(support::faultPoint("never-armed"));
+    EXPECT_FALSE(FaultInjector::instance().anyArmed());
+}
+
+TEST_F(FaultInjection, ArmedSiteFiresOnceThenDisarms)
+{
+    FaultInjector::instance().arm("site-a");
+    EXPECT_THROW(support::faultPoint("site-a"), FaultInjectedError);
+    EXPECT_NO_THROW(support::faultPoint("site-a"));
+    EXPECT_EQ(FaultInjector::instance().hits("site-a"), 2u);
+}
+
+TEST_F(FaultInjection, SkipCountDelaysTheFault)
+{
+    FaultInjector::instance().arm("site-b", /*skip=*/2);
+    EXPECT_NO_THROW(support::faultPoint("site-b"));
+    EXPECT_NO_THROW(support::faultPoint("site-b"));
+    EXPECT_THROW(support::faultPoint("site-b"), FaultInjectedError);
+}
+
+TEST_F(FaultInjection, OtherSitesAreUnaffected)
+{
+    FaultInjector::instance().arm("site-c");
+    EXPECT_NO_THROW(support::faultPoint("site-d"));
+    EXPECT_THROW(support::faultPoint("site-c"), FaultInjectedError);
+}
+
+TEST_F(FaultInjection, ScopedFaultDisarmsOnExit)
+{
+    {
+        ScopedFault f("site-e", /*skip=*/0, /*fires=*/0);
+        EXPECT_THROW(support::faultPoint("site-e"),
+                     FaultInjectedError);
+    }
+    EXPECT_NO_THROW(support::faultPoint("site-e"));
+}
+
+TEST_F(FaultInjection, CorruptionOffsetsAreDeterministic)
+{
+    auto path = tmpFile("pico_fi_offsets.bin");
+    writeFile(path, std::string(256, 'x'));
+    auto a = support::corruptionOffsets(path.string(), 42, 8, 16);
+    auto b = support::corruptionOffsets(path.string(), 42, 8, 16);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 8u);
+    for (auto off : a) {
+        EXPECT_GE(off, 16u);
+        EXPECT_LT(off, 256u);
+    }
+    auto c = support::corruptionOffsets(path.string(), 43, 8, 16);
+    EXPECT_NE(a, c);
+    std::filesystem::remove(path);
+}
+
+// --- trace corruption --------------------------------------------------
+
+TEST_F(FaultInjection, TruncatedTraceRejectedStrict)
+{
+    auto path = tmpFile("pico_fi_trunc.trace");
+    writeTrace(path);
+    // Drop the tail (footer and then some): the classic killed-
+    // mid-write artifact. Never silently accepted.
+    auto size = std::filesystem::file_size(path);
+    support::truncateFile(path.string(), size * 6 / 10);
+
+    trace::TraceFileReader reader(path.string());
+    trace::Access a;
+    try {
+        while (reader.next(a)) {
+        }
+        FAIL() << "truncated trace accepted as clean EOF";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("byte"),
+                  std::string::npos)
+            << "error must name the position: " << e.what();
+    }
+    std::filesystem::remove(path);
+}
+
+TEST_F(FaultInjection, TruncatedTraceAccountedLenient)
+{
+    auto path = tmpFile("pico_fi_trunc_lenient.trace");
+    auto accesses = writeTrace(path);
+    auto size = std::filesystem::file_size(path);
+    support::truncateFile(path.string(), size * 6 / 10);
+
+    trace::TraceFileReader reader(path.string(),
+                                  trace::TraceReadMode::Lenient);
+    uint64_t n = reader.replay([](const trace::Access &) {});
+    EXPECT_LT(n, accesses.size());
+    const auto &s = reader.summary();
+    EXPECT_TRUE(s.footerMissing);
+    EXPECT_FALSE(s.clean());
+    EXPECT_EQ(s.recordsRead, n);
+    std::filesystem::remove(path);
+}
+
+TEST_F(FaultInjection, CorruptRecordDroppedCountIsExact)
+{
+    auto path = tmpFile("pico_fi_badline.trace");
+    auto accesses = writeTrace(path);
+    // Corrupt two record lines but leave the footer intact: the
+    // footer count makes the dropped-record accounting exact.
+    replaceLine(path, 5, "not a record");
+    replaceLine(path, 9, "2 zz@@");
+
+    trace::TraceFileReader reader(path.string(),
+                                  trace::TraceReadMode::Lenient);
+    uint64_t n = reader.replay([](const trace::Access &) {});
+    EXPECT_EQ(n, accesses.size() - 2);
+    const auto &s = reader.summary();
+    EXPECT_EQ(s.corruptLines, 2u);
+    EXPECT_EQ(s.expectedRecords, accesses.size());
+    EXPECT_EQ(s.droppedRecords(), 2u);
+    EXPECT_TRUE(s.countMismatch);
+    EXPECT_FALSE(s.clean());
+
+    // The same file in strict mode is rejected outright.
+    trace::TraceFileReader strict(path.string());
+    trace::Access a;
+    EXPECT_THROW(
+        while (strict.next(a)) {}, FatalError);
+    std::filesystem::remove(path);
+}
+
+TEST_F(FaultInjection, BitFlipNeverReadsClean)
+{
+    auto path = tmpFile("pico_fi_bitflip.trace");
+    writeTrace(path, 50);
+    // Deterministic seed-driven corruption, past the header so the
+    // file still opens.
+    auto offsets = support::corruptionOffsets(
+        path.string(), /*seed=*/7, /*n=*/3,
+        std::string(trace::traceHeaderV2).size() + 1);
+    for (auto off : offsets)
+        support::flipBit(path.string(), off, 6);
+
+    // Whatever the flips hit — a record, a newline, the footer —
+    // the count+checksum pair must notice.
+    trace::TraceFileReader reader(path.string(),
+                                  trace::TraceReadMode::Lenient);
+    reader.replay([](const trace::Access &) {});
+    EXPECT_FALSE(reader.summary().clean());
+    std::filesystem::remove(path);
+}
+
+TEST_F(FaultInjection, WriterCrashLeavesDetectableFile)
+{
+    auto path = tmpFile("pico_fi_writer_crash.trace");
+    {
+        // Injected failure on close (armed permanently so the
+        // destructor's retry fails too): the footer is never
+        // written, as if the process died. The destructor must
+        // swallow the error (never throw during unwind).
+        ScopedFault f("TraceFileWriter::close:before-footer",
+                      /*skip=*/0, /*fires=*/0);
+        trace::TraceFileWriter writer(path.string());
+        trace::Access a;
+        a.addr = 0x2000;
+        writer.write(a);
+        EXPECT_THROW(writer.close(), FaultInjectedError);
+    }
+    trace::TraceFileReader reader(path.string(),
+                                  trace::TraceReadMode::Lenient);
+    reader.replay([](const trace::Access &) {});
+    EXPECT_TRUE(reader.summary().footerMissing);
+    std::filesystem::remove(path);
+}
+
+// --- evaluation-cache crash safety ------------------------------------
+
+TEST_F(FaultInjection, CacheCrashBeforeRenameKeepsOldGeneration)
+{
+    auto path = tmpFile("pico_fi_cache_rename.db");
+    auto tmp = path.string() + ".tmp";
+    std::filesystem::remove(path);
+    std::filesystem::remove(tmp);
+    {
+        dse::EvaluationCache cache(path.string());
+        cache.store("gen1", {1.0});
+        cache.flush(); // generation 1 on disk
+
+        cache.store("gen2", {2.0});
+        {
+            ScopedFault f("EvaluationCache::save:before-rename");
+            EXPECT_THROW(cache.flush(), FaultInjectedError);
+        }
+        // The "crash" hit after the tmp write, before the rename:
+        // the live database is still generation 1, loadable.
+        EXPECT_TRUE(std::filesystem::exists(tmp));
+        dse::EvaluationCache survivor(path.string());
+        std::vector<double> v;
+        EXPECT_TRUE(survivor.lookup("gen1", v));
+        EXPECT_FALSE(survivor.lookup("gen2", v));
+
+        // cache is still dirty; its destructor retries the flush.
+        EXPECT_TRUE(cache.dirty());
+    }
+    dse::EvaluationCache reloaded(path.string());
+    std::vector<double> v;
+    EXPECT_TRUE(reloaded.lookup("gen1", v));
+    EXPECT_TRUE(reloaded.lookup("gen2", v));
+    std::filesystem::remove(path);
+    std::filesystem::remove(tmp);
+}
+
+TEST_F(FaultInjection, CacheCrashBeforeWriteKeepsOldGeneration)
+{
+    auto path = tmpFile("pico_fi_cache_write.db");
+    std::filesystem::remove(path);
+    dse::EvaluationCache cache(path.string());
+    cache.store("gen1", {1.0});
+    cache.flush();
+    cache.store("gen2", {2.0});
+    {
+        ScopedFault f("EvaluationCache::save:before-write");
+        EXPECT_THROW(cache.flush(), FaultInjectedError);
+    }
+    dse::EvaluationCache survivor(path.string());
+    std::vector<double> v;
+    EXPECT_TRUE(survivor.lookup("gen1", v));
+    EXPECT_FALSE(survivor.lookup("gen2", v));
+    std::filesystem::remove(path);
+}
+
+TEST_F(FaultInjection, CacheDestructorNeverThrows)
+{
+    auto path = tmpFile("pico_fi_cache_dtor.db");
+    std::filesystem::remove(path);
+    auto cache =
+        std::make_unique<dse::EvaluationCache>(path.string());
+    cache->store("k", {1.0});
+    ScopedFault f("EvaluationCache::save:before-rename",
+                  /*skip=*/0, /*fires=*/0);
+    EXPECT_NO_THROW(cache.reset());
+    std::filesystem::remove(path);
+    std::filesystem::remove(path.string() + ".tmp");
+}
+
+TEST_F(FaultInjection, HalfWrittenTmpIsIgnoredOnLoad)
+{
+    auto path = tmpFile("pico_fi_cache_tmp.db");
+    std::filesystem::remove(path);
+    {
+        dse::EvaluationCache cache(path.string());
+        cache.store("k", {4.5});
+    }
+    // Simulate a crash mid-tmp-write from some earlier run.
+    writeFile(path.string() + ".tmp", "picoeval-evalcache-v2\nk|9");
+    dse::EvaluationCache cache(path.string());
+    std::vector<double> v;
+    ASSERT_TRUE(cache.lookup("k", v));
+    EXPECT_EQ(v, std::vector<double>{4.5});
+    std::filesystem::remove(path);
+    std::filesystem::remove(path.string() + ".tmp");
+}
+
+// --- spacewalker failure isolation ------------------------------------
+
+dse::MemorySpaces
+tinySpaces()
+{
+    dse::MemorySpaces spaces;
+    dse::CacheSpace l1;
+    l1.sizesBytes = {4096};
+    l1.assocs = {1};
+    l1.lineSizes = {32};
+    spaces.icache = l1;
+    spaces.dcache = l1;
+    dse::CacheSpace l2;
+    l2.sizesBytes = {65536};
+    l2.assocs = {4};
+    l2.lineSizes = {64};
+    spaces.ucache = l2;
+    return spaces;
+}
+
+dse::Spacewalker::Options
+tinyOptions()
+{
+    dse::Spacewalker::Options opts;
+    opts.traceBlocks = 8000;
+    opts.uGranule = 40000;
+    return opts;
+}
+
+TEST_F(FaultInjection, InjectedDesignFailureIsIsolated)
+{
+    auto prog = workloads::buildAndProfile(
+        workloads::specByName("unepic"), 8000);
+    dse::Spacewalker walker(tinySpaces(), {"1111", "2111", "3221"},
+                            tinyOptions());
+    // Poison only the second design evaluation.
+    ScopedFault f("Spacewalker::evaluateDesign", /*skip=*/1);
+    auto result = walker.explore(prog);
+
+    EXPECT_FALSE(result.complete());
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures.entries()[0].design, "2111");
+    EXPECT_NE(result.failures.entries()[0].reason.find(
+                  "injected fault"),
+              std::string::npos);
+    EXPECT_EQ(result.evaluatedDesigns, 2u);
+    EXPECT_EQ(result.dilations.count("2111"), 0u);
+    EXPECT_EQ(result.dilations.count("1111"), 1u);
+    EXPECT_EQ(result.dilations.count("3221"), 1u);
+    EXPECT_FALSE(result.systems.empty());
+    EXPECT_FALSE(result.failures.report().empty());
+}
+
+TEST_F(FaultInjection, CheckpointSurvivesWalkCrash)
+{
+    auto path = tmpFile("pico_fi_checkpoint.db");
+    std::filesystem::remove(path);
+    auto prog = workloads::buildAndProfile(
+        workloads::specByName("unepic"), 8000);
+
+    auto opts = tinyOptions();
+    opts.evaluationCachePath = path.string();
+    opts.checkpointEvery = 1;
+    opts.haltOnFailure = true;
+    {
+        dse::Spacewalker walker(tinySpaces(), {"1111", "3221"},
+                                opts);
+        ScopedFault f("Spacewalker::evaluateDesign", /*skip=*/1);
+        EXPECT_THROW(walker.explore(prog), FaultInjectedError);
+
+        // Before the walker (and its destructor-time save) goes
+        // away: the first design's metrics were already
+        // checkpointed to disk.
+        dse::EvaluationCache snapshot(path.string());
+        EXPECT_EQ(snapshot.loadedEntries(), 1u);
+    }
+    // A fresh walker resumes from the checkpoint: the surviving
+    // design is served from the cache, only the crashed one is
+    // recomputed.
+    auto opts2 = tinyOptions();
+    opts2.evaluationCachePath = path.string();
+    dse::Spacewalker resumed(tinySpaces(), {"1111", "3221"}, opts2);
+    auto result = resumed.explore(prog);
+    EXPECT_TRUE(result.complete());
+    EXPECT_GE(resumed.evaluationCache().hits(), 1u);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace pico

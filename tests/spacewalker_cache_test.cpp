@@ -60,6 +60,56 @@ TEST(SpacewalkerCache, SecondExploreHitsCache)
     EXPECT_EQ(first.processorCycles, second.processorCycles);
 }
 
+TEST(SpacewalkerCache, PoisonedDesignDoesNotKillTheWalk)
+{
+    auto prog = workloads::buildAndProfile(
+        workloads::specByName("unepic"), 8000);
+    // "0111" names a machine with a zero FU count — an infeasible
+    // design that fatal()s during machine description.
+    Spacewalker walker(tinySpaces(), {"1111", "0111", "3221"},
+                       tinyOptions());
+    auto result = walker.explore(prog);
+
+    EXPECT_FALSE(result.complete());
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures.entries()[0].design, "0111");
+    EXPECT_EQ(result.failures.entries()[0].stage,
+              "machine-description");
+    EXPECT_EQ(result.evaluatedDesigns, 2u);
+
+    // The surviving designs still produced full Pareto sets.
+    EXPECT_EQ(result.dilations.size(), 2u);
+    EXPECT_FALSE(result.processors.empty());
+    EXPECT_FALSE(result.systems.empty());
+    for (const auto &p : result.processors.points())
+        EXPECT_EQ(p.id.find("P0111"), std::string::npos);
+}
+
+TEST(SpacewalkerCache, HaltOnFailurePropagates)
+{
+    auto prog = workloads::buildAndProfile(
+        workloads::specByName("unepic"), 8000);
+    auto opts = tinyOptions();
+    opts.haltOnFailure = true;
+    Spacewalker walker(tinySpaces(), {"1111", "0111"}, opts);
+    EXPECT_THROW(walker.explore(prog), FatalError);
+}
+
+TEST(SpacewalkerCache, AllDesignsFailingYieldsEmptyResult)
+{
+    auto prog = workloads::buildAndProfile(
+        workloads::specByName("unepic"), 8000);
+    Spacewalker walker(tinySpaces(), {"0111", "0221"},
+                       tinyOptions());
+    auto result = walker.explore(prog);
+    EXPECT_EQ(result.failures.size(), 2u);
+    EXPECT_EQ(result.evaluatedDesigns, 0u);
+    EXPECT_TRUE(result.processors.empty());
+    EXPECT_TRUE(result.systems.empty());
+    // No class was ever built, so the memory walker is unavailable.
+    EXPECT_THROW(walker.memoryWalker(), FatalError);
+}
+
 TEST(SpacewalkerCache, PersistsAcrossWalkers)
 {
     auto path = std::filesystem::temp_directory_path() /

@@ -53,6 +53,103 @@ TEST(TraceFile, RoundTripPreservesRecords)
     std::filesystem::remove(path);
 }
 
+TEST(TraceFile, WritesVersionedHeaderAndFooter)
+{
+    auto path = tempTrace("pico_v2format.trace");
+    {
+        TraceFileWriter writer(path.string());
+        writer.write({0x1000, true, false});
+        writer.write({0x2000, false, true});
+        writer.close();
+    }
+    std::ifstream in(path);
+    std::string line, last;
+    std::getline(in, line);
+    EXPECT_EQ(line, traceHeaderV2);
+    while (std::getline(in, line))
+        last = line;
+    EXPECT_EQ(last.rfind(traceFooterTag, 0), 0u);
+
+    TraceFileReader reader(path.string());
+    EXPECT_EQ(reader.version(), 2);
+    EXPECT_EQ(reader.replay([](const Access &) {}), 2u);
+    const auto &s = reader.summary();
+    EXPECT_TRUE(s.clean());
+    EXPECT_EQ(s.expectedRecords, 2u);
+    EXPECT_EQ(s.droppedRecords(), 0u);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, ReadsV1Files)
+{
+    auto path = tempTrace("pico_v1compat.trace");
+    {
+        std::ofstream out(path);
+        out << traceHeaderV1 << "\n2 1000\n0 2000\n1 2004\n";
+    }
+    TraceFileReader reader(path.string());
+    EXPECT_EQ(reader.version(), 1);
+    std::vector<Access> read;
+    reader.replay([&read](const Access &a) { read.push_back(a); });
+    ASSERT_EQ(read.size(), 3u);
+    EXPECT_TRUE(read[0].isInstr);
+    EXPECT_EQ(read[1].addr, 0x2000u);
+    EXPECT_TRUE(read[2].isWrite);
+    EXPECT_TRUE(reader.summary().clean());
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, V1MalformedRecordNamesTheLine)
+{
+    auto path = tempTrace("pico_v1malformed.trace");
+    {
+        std::ofstream out(path);
+        out << traceHeaderV1 << "\n2 1000\ngarbage here\n0 2000\n";
+    }
+    TraceFileReader reader(path.string());
+    Access a;
+    EXPECT_TRUE(reader.next(a));
+    try {
+        reader.next(a);
+        FAIL() << "malformed record accepted";
+    } catch (const FatalError &e) {
+        // Line 3: header is line 1, first record line 2.
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, V1TruncatedMidRecordIsNotCleanEof)
+{
+    auto path = tempTrace("pico_v1truncated.trace");
+    {
+        std::ofstream out(path);
+        // Killed mid-write: the last record lost its address.
+        out << traceHeaderV1 << "\n2 1000\n1";
+    }
+    TraceFileReader reader(path.string());
+    Access a;
+    EXPECT_TRUE(reader.next(a));
+    EXPECT_THROW(reader.next(a), FatalError);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, V1LenientSkipsAndAccounts)
+{
+    auto path = tempTrace("pico_v1lenient.trace");
+    {
+        std::ofstream out(path);
+        out << traceHeaderV1 << "\n2 1000\nnoise\n0 2000\n";
+    }
+    TraceFileReader reader(path.string(), TraceReadMode::Lenient);
+    EXPECT_EQ(reader.replay([](const Access &) {}), 2u);
+    EXPECT_EQ(reader.summary().corruptLines, 1u);
+    EXPECT_EQ(reader.summary().droppedRecords(), 1u);
+    std::filesystem::remove(path);
+}
+
 TEST(TraceFile, RejectsMissingFile)
 {
     EXPECT_THROW(TraceFileReader("/nonexistent/trace"), FatalError);
