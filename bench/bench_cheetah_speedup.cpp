@@ -4,6 +4,13 @@
  * microbenchmark: simulating the full range of set counts and
  * associativities in a single pass costs little more than simulating
  * one configuration, and far less than per-configuration passes.
+ *
+ * Plus the parallel companion: one single-pass sweep is needed *per
+ * line size*, and those sweeps are independent, so the SimBank runs
+ * them concurrently on a ThreadPool. BM_ParallelLineSweeps measures
+ * that sweep at 1, 2 and 4 jobs (real time; jobs = 1 is the serial
+ * reference — speedup is hardware-dependent and only shows on
+ * multi-core machines).
  */
 
 #include <benchmark/benchmark.h>
@@ -12,7 +19,10 @@
 
 #include "cache/CacheSim.hpp"
 #include "cache/SinglePassSim.hpp"
+#include "dse/Evaluators.hpp"
 #include "support/Random.hpp"
+#include "support/ThreadPool.hpp"
+#include "trace/TraceBuffer.hpp"
 
 using namespace pico;
 
@@ -90,10 +100,53 @@ BM_PerConfigPasses(benchmark::State &state)
         static_cast<int64_t>(state.iterations() * trace.size()));
 }
 
+const trace::TraceBuffer &
+sharedBuffer()
+{
+    static trace::TraceBuffer buffer = [] {
+        trace::TraceBuffer b;
+        for (auto addr : sharedTrace())
+            b(trace::Access{addr, true, false});
+        return b;
+    }();
+    return buffer;
+}
+
+void
+BM_ParallelLineSweeps(benchmark::State &state)
+{
+    // Line sizes 8..64 → five covered sweeps (SimBank also covers
+    // the 4-byte minimum for dilation interpolation), fanned out on
+    // a pool of jobs workers. Results are identical for every job
+    // count; only wall-clock time changes.
+    dse::CacheSpace space;
+    space.sizesBytes = {2048, 4096, 8192, 16384};
+    space.assocs = {1, 2, 4};
+    space.lineSizes = {8, 16, 32, 64};
+
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    support::ThreadPool pool(jobs - 1);
+    const auto &buffer = sharedBuffer();
+    for (auto _ : state) {
+        dse::SimBank bank(space);
+        bank.simulate(buffer, &pool);
+        benchmark::DoNotOptimize(
+            bank.misses(cache::CacheConfig{128, 2, 32}));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * buffer.size() *
+        dse::SimBank(space).simRuns()));
+}
+
 } // namespace
 
 BENCHMARK(BM_SingleConfigSim)->Arg(128);
 BENCHMARK(BM_SinglePassAllConfigs);
 BENCHMARK(BM_PerConfigPasses);
+BENCHMARK(BM_ParallelLineSweeps)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -4,11 +4,16 @@
  * the cost-performance-optimal (Pareto) systems, the way an
  * automated embedded-system design flow would.
  *
- * Usage: design_space_walk [app]
- *   app  one of the suite names (default rasta)
+ * Usage: design_space_walk [app] [--jobs N]
+ *   app      one of the suite names (default rasta)
+ *   --jobs N worker threads for the walk (default 1 = serial,
+ *            0 = one per hardware thread); results are identical
+ *            for every N
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "dse/Spacewalker.hpp"
 #include "support/Table.hpp"
@@ -20,7 +25,17 @@ using namespace pico;
 int
 main(int argc, char **argv)
 {
-    std::string app_name = argc > 1 ? argv[1] : "rasta";
+    std::string app_name = "rasta";
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            app_name = arg;
+        }
+    }
     auto prog = workloads::buildAndProfile(
         workloads::specByName(app_name));
 
@@ -34,13 +49,16 @@ main(int argc, char **argv)
     dse::MemorySpaces spaces;
     dse::Spacewalker::Options opts;
     opts.traceBlocks = 40000;
+    opts.jobs = jobs;
     dse::Spacewalker walker(spaces, machines, opts);
 
     std::cout << "exploring " << machines.size() << " processors x "
               << spaces.icache.enumerate().size() << " I-caches x "
               << spaces.dcache.enumerate().size() << " D-caches x "
               << spaces.ucache.enumerate().size()
-              << " U-caches for '" << app_name << "'...\n\n";
+              << " U-caches for '" << app_name << "' with "
+              << support::ThreadPool::resolveJobs(jobs)
+              << " job(s)...\n\n";
 
     auto result = walker.explore(prog);
 

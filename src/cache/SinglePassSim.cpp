@@ -66,6 +66,13 @@ SinglePassSim::access(uint64_t addr)
     }
 }
 
+void
+SinglePassSim::replay(const std::vector<trace::Access> &buffer)
+{
+    for (const auto &a : buffer)
+        access(a.addr);
+}
+
 uint64_t
 SinglePassSim::misses(uint32_t sets, uint32_t assoc) const
 {

@@ -46,6 +46,14 @@ class SinglePassSim
     /** Sink-compatible overload. */
     void operator()(const trace::Access &a) { access(a.addr); }
 
+    /**
+     * Feed an entire buffered trace. One simulator's replay touches
+     * only its own state, so replays of *different* simulators over
+     * the same buffer may run concurrently — this is the unit of
+     * work of the parallel per-line-size Cheetah passes.
+     */
+    void replay(const std::vector<trace::Access> &buffer);
+
     /** Total references observed. */
     uint64_t accesses() const { return accesses_; }
 

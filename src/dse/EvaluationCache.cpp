@@ -1,5 +1,6 @@
 #include "dse/EvaluationCache.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -82,16 +83,35 @@ EvaluationCache::~EvaluationCache()
     }
 }
 
+EvaluationCache::Shard &
+EvaluationCache::shardFor(const std::string &key)
+{
+    return shards_[std::hash<std::string>{}(key) % shardCount];
+}
+
+const EvaluationCache::Shard &
+EvaluationCache::shardFor(const std::string &key) const
+{
+    return shards_[std::hash<std::string>{}(key) % shardCount];
+}
+
 std::vector<double>
 EvaluationCache::getOrCompute(
     const std::string &key,
     const std::function<std::vector<double>()> &compute)
 {
-    auto it = table_.find(key);
-    if (it != table_.end()) {
-        ++hits_;
-        return it->second;
+    auto &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.table.find(key);
+        if (it != shard.table.end()) {
+            ++hits_;
+            return it->second;
+        }
     }
+    // Compute outside the lock: evaluating a machine takes seconds,
+    // and holding a shard mutex through it would serialize every
+    // other key that hashes to the same shard.
     ++misses_;
     auto values = compute();
     store(key, values);
@@ -102,8 +122,10 @@ bool
 EvaluationCache::lookup(const std::string &key,
                         std::vector<double> &values) const
 {
-    auto it = table_.find(key);
-    if (it == table_.end()) {
+    const auto &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.table.find(key);
+    if (it == shard.table.end()) {
         ++misses_;
         return false;
     }
@@ -119,63 +141,122 @@ EvaluationCache::store(const std::string &key,
     fatalIf(key.find('|') != std::string::npos ||
                 key.find('\n') != std::string::npos,
             "evaluation-cache key contains reserved characters");
-    table_[key] = std::move(values);
-    dirty_ = true;
+    auto &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.table[key] = std::move(values);
+    }
+    dirty_.store(true, std::memory_order_release);
+}
+
+size_t
+EvaluationCache::size() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.table.size();
+    }
+    return total;
 }
 
 void
 EvaluationCache::save() const
 {
+    std::lock_guard<std::mutex> lock(flushMutex_);
+    saveLocked();
+}
+
+void
+EvaluationCache::saveLocked() const
+{
     if (path_.empty())
         return;
     support::faultPoint("EvaluationCache::save:before-write");
 
-    // Atomic-rename protocol: never truncate the live database. A
-    // crash at any point leaves either the old generation (tmp file
-    // ignored by load()) or the new one.
-    std::string tmp = path_ + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) {
-            warn("cannot write evaluation cache '", tmp, "'");
-            return;
+    // Clear the dirty flag *before* snapshotting, and restore it on
+    // every failure path. A store() racing with this save marks the
+    // cache dirty again on its own; clearing the flag *after* the
+    // write instead would clobber that mark and strand the racing
+    // entry in memory forever (it is not in the snapshot just
+    // written, and no later flush would see anything to do).
+    dirty_.store(false, std::memory_order_release);
+    try {
+        // Snapshot every shard, then write in sorted key order: the
+        // database bytes are a pure function of the cache
+        // *contents*, independent of thread count, schedule, or
+        // insertion order.
+        std::vector<std::pair<std::string, std::vector<double>>>
+            entries;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> shardLock(shard.mutex);
+            entries.insert(entries.end(), shard.table.begin(),
+                           shard.table.end());
         }
-        out.precision(17);
-        out << header << '\n';
-        for (const auto &[key, values] : table_) {
-            out << key << '|';
-            for (size_t i = 0; i < values.size(); ++i)
-                out << (i ? "," : "") << values[i];
-            out << '\n';
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+
+        // Atomic-rename protocol: never truncate the live database.
+        // A crash at any point leaves either the old generation (tmp
+        // file ignored by load()) or the new one.
+        std::string tmp = path_ + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            if (!out) {
+                warn("cannot write evaluation cache '", tmp, "'");
+                dirty_.store(true, std::memory_order_release);
+                return;
+            }
+            out.precision(17);
+            out << header << '\n';
+            for (const auto &[key, values] : entries) {
+                out << key << '|';
+                for (size_t i = 0; i < values.size(); ++i)
+                    out << (i ? "," : "") << values[i];
+                out << '\n';
+            }
+            out.flush();
+            if (!out) {
+                warn("writing evaluation cache '", tmp,
+                     "' failed; previous generation kept");
+                out.close();
+                std::error_code ec;
+                std::filesystem::remove(tmp, ec);
+                dirty_.store(true, std::memory_order_release);
+                return;
+            }
         }
-        out.flush();
-        if (!out) {
-            warn("writing evaluation cache '", tmp,
-                 "' failed; previous generation kept");
-            out.close();
-            std::error_code ec;
+        syncFile(tmp);
+        support::faultPoint("EvaluationCache::save:before-rename");
+        std::error_code ec;
+        std::filesystem::rename(tmp, path_, ec);
+        if (ec) {
+            warn("cannot replace evaluation cache '", path_,
+                 "': ", ec.message(), "; previous generation kept");
             std::filesystem::remove(tmp, ec);
+            dirty_.store(true, std::memory_order_release);
             return;
         }
+    } catch (...) {
+        dirty_.store(true, std::memory_order_release);
+        throw;
     }
-    syncFile(tmp);
-    support::faultPoint("EvaluationCache::save:before-rename");
-    std::error_code ec;
-    std::filesystem::rename(tmp, path_, ec);
-    if (ec) {
-        warn("cannot replace evaluation cache '", path_,
-             "': ", ec.message(), "; previous generation kept");
-        std::filesystem::remove(tmp, ec);
-        return;
-    }
-    dirty_ = false;
 }
 
 void
 EvaluationCache::flush()
 {
-    if (dirty_)
-        save();
+    // One writer at a time: unsynchronized flush() from a
+    // checkpointing thread and the destructor used to run the
+    // tmp-write/rename protocol concurrently against the same tmp
+    // path (torn tmp file, double rename). The dirty check happens
+    // under the same mutex so a concurrent flush that already
+    // committed the batch makes this one a no-op.
+    std::lock_guard<std::mutex> lock(flushMutex_);
+    if (dirty_.load(std::memory_order_acquire))
+        saveLocked();
 }
 
 void
@@ -210,7 +291,8 @@ EvaluationCache::load()
             ++quarantinedEntries_;
             continue;
         }
-        table_[line.substr(0, bar)] = std::move(values);
+        auto key = line.substr(0, bar);
+        shardFor(key).table[key] = std::move(values);
         ++loadedEntries_;
     }
     if (quarantinedEntries_ > 0)

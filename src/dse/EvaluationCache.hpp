@@ -21,13 +21,32 @@
  *    thrown through;
  *  - the destructor flushes pending entries but never throws during
  *    unwind.
+ *
+ * The cache is also *thread-safe*, because the parallel spacewalker
+ * hits it from every machine-evaluation task:
+ *
+ *  - the table is split into shardCount shards, each guarded by its
+ *    own mutex, so concurrent lookups/stores of different keys
+ *    rarely contend; getOrCompute never holds a lock during the
+ *    compute callback;
+ *  - stores are batched in memory and committed by flush(): one
+ *    writer at a time (a dedicated flush mutex — concurrent flushes
+ *    from checkpointing and the destructor used to race on the tmp
+ *    file), snapshotting every shard and writing entries in sorted
+ *    key order, so the database bytes are identical no matter how
+ *    many threads filled the cache or in what order;
+ *  - the atomic tmp+fsync+rename protocol is unchanged, preserving
+ *    the crash-safety guarantees above.
  */
 
 #ifndef PICO_DSE_EVALUATION_CACHE_HPP
 #define PICO_DSE_EVALUATION_CACHE_HPP
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +61,9 @@ class EvaluationCache
     /** Magic first line of the version-2 database format. */
     static constexpr const char *header = "picoeval-evalcache-v2";
 
+    /** Lock-striping width of the in-memory table. */
+    static constexpr size_t shardCount = 16;
+
     /**
      * @param path database file; empty keeps the cache in memory
      *        only. An existing file is loaded eagerly (corrupt
@@ -54,6 +76,9 @@ class EvaluationCache
 
     /**
      * Fetch a metric vector, computing and storing it on a miss.
+     * The compute callback runs outside every lock; if two threads
+     * miss on the same key concurrently both compute, and the first
+     * store wins (computes are deterministic, so the values agree).
      * @param key unique metric identifier (no '|' or newlines)
      * @param compute evaluator invoked on a miss
      */
@@ -71,7 +96,7 @@ class EvaluationCache
     /**
      * Write the database atomically now (no-op when memory-only).
      * I/O errors are warned about and leave the previous generation
-     * intact.
+     * intact. Serialized: concurrent savers queue up.
      */
     void save() const;
 
@@ -79,31 +104,46 @@ class EvaluationCache
      * Persist unsaved entries (checkpoint). Cheap when nothing
      * changed since the last save; the walkers call this
      * periodically so an interrupted run resumes from the last
-     * checkpoint rather than losing everything.
+     * checkpoint rather than losing everything. Safe to call from
+     * any thread.
      */
     void flush();
 
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
-    size_t size() const { return table_.size(); }
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+    size_t size() const;
 
     /** Entries salvaged from the database file at load time. */
     uint64_t loadedEntries() const { return loadedEntries_; }
     /** Corrupt database lines skipped at load time. */
     uint64_t quarantinedEntries() const { return quarantinedEntries_; }
     /** Entries stored since the last successful save. */
-    bool dirty() const { return dirty_; }
+    bool dirty() const { return dirty_.load(); }
 
   private:
+    /** One lock-striped slice of the table. */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, std::vector<double>> table;
+    };
+
+    Shard &shardFor(const std::string &key);
+    const Shard &shardFor(const std::string &key) const;
+
     void load();
+    /** save() body; caller must hold flushMutex_. */
+    void saveLocked() const;
 
     std::string path_;
-    std::unordered_map<std::string, std::vector<double>> table_;
-    mutable uint64_t hits_ = 0;
-    mutable uint64_t misses_ = 0;
+    mutable std::array<Shard, shardCount> shards_;
+    /** Serializes the write-out protocol (tmp file + rename). */
+    mutable std::mutex flushMutex_;
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
     uint64_t loadedEntries_ = 0;
     uint64_t quarantinedEntries_ = 0;
-    mutable bool dirty_ = false;
+    mutable std::atomic<bool> dirty_{false};
 };
 
 } // namespace pico::dse

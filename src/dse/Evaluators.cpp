@@ -28,6 +28,18 @@ SimBank::access(const trace::Access &a)
         sim.access(a.addr);
 }
 
+void
+SimBank::simulate(const trace::TraceBuffer &buffer,
+                  support::ThreadPool *pool)
+{
+    // One task per line size; each task owns exactly one simulator,
+    // so no merge step is needed and the result cannot depend on
+    // the schedule.
+    support::parallelFor(sims_.size(), pool, [&](size_t i) {
+        sims_[i].replay(buffer.accesses());
+    });
+}
+
 bool
 SimBank::covers(const cache::CacheConfig &config) const
 {
@@ -67,15 +79,21 @@ IcacheEvaluator::IcacheEvaluator(CacheSpace space,
 }
 
 void
-IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace)
+IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace,
+                          support::ThreadPool *pool)
 {
+    // Capture the stream once; the trace modeler is inherently
+    // serial (granule state) and runs during capture, while the
+    // per-line-size simulator sweeps replay the buffer in parallel.
+    trace::TraceBuffer buffer;
     core::ItraceModeler modeler(granuleRefs_);
-    ref_instr_trace([this, &modeler](const trace::Access &a) {
+    ref_instr_trace([&buffer, &modeler](const trace::Access &a) {
         fatalIf(!a.isInstr,
                 "data reference in an instruction trace");
-        bank_->access(a);
+        buffer(a);
         modeler.access(a);
     });
+    bank_->simulate(buffer, pool);
     params_ = modeler.params();
     evaluated_ = true;
 }
@@ -115,12 +133,15 @@ DcacheEvaluator::DcacheEvaluator(CacheSpace space)
 }
 
 void
-DcacheEvaluator::evaluate(const TraceSource &ref_data_trace)
+DcacheEvaluator::evaluate(const TraceSource &ref_data_trace,
+                          support::ThreadPool *pool)
 {
-    ref_data_trace([this](const trace::Access &a) {
+    trace::TraceBuffer buffer;
+    ref_data_trace([&buffer](const trace::Access &a) {
         fatalIf(a.isInstr, "instruction reference in a data trace");
-        bank_->access(a);
+        buffer(a);
     });
+    bank_->simulate(buffer, pool);
     evaluated_ = true;
 }
 
@@ -155,13 +176,16 @@ UcacheEvaluator::UcacheEvaluator(CacheSpace space,
 }
 
 void
-UcacheEvaluator::evaluate(const TraceSource &ref_unified_trace)
+UcacheEvaluator::evaluate(const TraceSource &ref_unified_trace,
+                          support::ThreadPool *pool)
 {
+    trace::TraceBuffer buffer;
     core::UtraceModeler modeler(granuleRefs_);
-    ref_unified_trace([this, &modeler](const trace::Access &a) {
-        bank_->access(a);
+    ref_unified_trace([&buffer, &modeler](const trace::Access &a) {
+        buffer(a);
         modeler.access(a);
     });
+    bank_->simulate(buffer, pool);
     iParams_ = modeler.instrParams();
     dParams_ = modeler.dataParams();
     evaluated_ = true;

@@ -22,6 +22,8 @@
 #include "core/TraceModel.hpp"
 #include "dse/CacheSpace.hpp"
 #include "dse/Pareto.hpp"
+#include "support/ThreadPool.hpp"
+#include "trace/TraceBuffer.hpp"
 
 namespace pico::dse
 {
@@ -48,6 +50,16 @@ class SimBank
 
     /** Feed one reference to every line-size simulator. */
     void access(const trace::Access &a);
+
+    /**
+     * Run every line-size simulator over a buffered trace, one
+     * independent read-only sweep each, concurrently on the given
+     * pool (null/zero-worker pool = serial, identical results:
+     * each simulator's state depends only on the trace, never on
+     * the other simulators or the schedule).
+     */
+    void simulate(const trace::TraceBuffer &buffer,
+                  support::ThreadPool *pool);
 
     /** Simulated reference-trace misses of a covered config. */
     double misses(const cache::CacheConfig &config) const;
@@ -79,8 +91,13 @@ class IcacheEvaluator
                              uint64_t granule_refs =
                                  core::defaultIGranule);
 
-    /** One pass over the reference instruction trace. */
-    void evaluate(const TraceSource &ref_instr_trace);
+    /**
+     * One pass over the reference instruction trace. The per-line-
+     * size simulator sweeps run concurrently on `pool` (null =
+     * serial; results are identical either way).
+     */
+    void evaluate(const TraceSource &ref_instr_trace,
+                  support::ThreadPool *pool = nullptr);
 
     /**
      * Misses of a configuration at a dilation; dilation 1 returns
@@ -113,7 +130,8 @@ class DcacheEvaluator
     explicit DcacheEvaluator(CacheSpace space);
 
     /** One pass over the reference data trace. */
-    void evaluate(const TraceSource &ref_data_trace);
+    void evaluate(const TraceSource &ref_data_trace,
+                  support::ThreadPool *pool = nullptr);
 
     /** Misses of a configuration (dilation independent). */
     double misses(const cache::CacheConfig &config) const;
@@ -138,7 +156,8 @@ class UcacheEvaluator
                                  core::defaultUGranule);
 
     /** One pass over the reference unified trace. */
-    void evaluate(const TraceSource &ref_unified_trace);
+    void evaluate(const TraceSource &ref_unified_trace,
+                  support::ThreadPool *pool = nullptr);
 
     double misses(const cache::CacheConfig &config,
                   double dilation) const;

@@ -17,6 +17,13 @@ FailureLog::record(std::string design, std::string stage,
         {std::move(design), std::move(stage), std::move(reason)});
 }
 
+void
+FailureLog::append(const FailureLog &other)
+{
+    entries_.insert(entries_.end(), other.entries_.begin(),
+                    other.entries_.end());
+}
+
 std::string
 FailureLog::report() const
 {

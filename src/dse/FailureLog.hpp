@@ -38,6 +38,15 @@ class FailureLog
     void record(std::string design, std::string stage,
                 std::string reason);
 
+    /**
+     * Splice another log's entries onto this one *without*
+     * re-warning (they warned when first recorded). The parallel
+     * walkers give every task its own log and append them in design
+     * order afterwards, so the merged ordering is independent of
+     * the execution schedule.
+     */
+    void append(const FailureLog &other);
+
     const std::vector<FailureRecord> &entries() const
     {
         return entries_;

@@ -1,5 +1,8 @@
 #include "dse/Spacewalker.hpp"
 
+#include <atomic>
+#include <optional>
+
 #include "compiler/Scheduler.hpp"
 #include "support/FaultInjection.hpp"
 #include "support/Logging.hpp"
@@ -22,9 +25,9 @@ MemoryWalker::evaluate(const TraceSource &instr_trace,
                        const TraceSource &data_trace,
                        const TraceSource &unified_trace)
 {
-    icacheEval_.evaluate(instr_trace);
-    dcacheEval_.evaluate(data_trace);
-    ucacheEval_.evaluate(unified_trace);
+    icacheEval_.evaluate(instr_trace, pool_);
+    dcacheEval_.evaluate(data_trace, pool_);
+    ucacheEval_.evaluate(unified_trace, pool_);
 }
 
 double
@@ -72,46 +75,78 @@ MemoryWalker::pareto(double dilation, uint32_t dcache_ports,
         return kept;
     };
 
+    // Evaluate one subspace: the per-design miss estimates (the
+    // dilation-model extrapolations) are independent, so they are
+    // sharded across the pool; each task writes only its own slot
+    // and the slots are merged in enumeration order, which keeps
+    // candidate ordering and failure ordering schedule-independent.
+    //
     // With a failure log, one unevaluable cache configuration is
-    // recorded and skipped; without one the error propagates.
-    auto offer = [&](std::vector<Candidate> &cands,
-                     const cache::CacheConfig &cfg, std::string id,
-                     auto &&stall_cycles) {
-        if (!failures) {
-            cands.push_back(
-                {cfg, id, cfg.areaCost(), stall_cycles()});
-            return;
-        }
-        try {
-            cands.push_back(
-                {cfg, id, cfg.areaCost(), stall_cycles()});
-        } catch (const PanicError &) {
-            throw; // internal bugs always propagate
-        } catch (const std::exception &e) {
-            failures->record(id, "memory-pareto", e.what());
-        }
-    };
+    // recorded and skipped; without one the error propagates (the
+    // historical behavior; parallelFor rethrows the error of the
+    // smallest failing index — the same one the serial loop hit
+    // first).
+    auto evalSubspace =
+        [&](const std::vector<cache::CacheConfig> &configs,
+            const char *prefix,
+            const std::function<double(const cache::CacheConfig &)>
+                &stall_cycles) {
+            std::vector<std::optional<Candidate>> slots(
+                configs.size());
+            std::vector<std::string> errors(configs.size());
+            support::parallelFor(
+                configs.size(), pool_, [&](size_t i) {
+                    const auto &cfg = configs[i];
+                    std::string id = prefix + cfg.name();
+                    if (!failures) {
+                        slots[i] = Candidate{cfg, id, cfg.areaCost(),
+                                             stall_cycles(cfg)};
+                        return;
+                    }
+                    try {
+                        slots[i] = Candidate{cfg, id, cfg.areaCost(),
+                                             stall_cycles(cfg)};
+                    } catch (const PanicError &) {
+                        throw; // internal bugs always propagate
+                    } catch (const std::exception &e) {
+                        errors[i] = e.what();
+                    }
+                });
+            std::vector<Candidate> cands;
+            cands.reserve(configs.size());
+            for (size_t i = 0; i < configs.size(); ++i) {
+                if (slots[i])
+                    cands.push_back(std::move(*slots[i]));
+                else
+                    failures->record(prefix + configs[i].name(),
+                                     "memory-pareto", errors[i]);
+            }
+            return cands;
+        };
 
-    std::vector<Candidate> i_cands, d_cands, u_cands;
-    for (const auto &cfg : spaces_.icache.enumerate()) {
-        offer(i_cands, cfg, "I$" + cfg.name(), [&] {
-            return icacheEval_.misses(cfg, dilation) *
-                   stalls_.l2HitLatency;
-        });
-    }
+    std::vector<cache::CacheConfig> d_configs;
     for (const auto &cfg : spaces_.dcache.enumerate()) {
         if (dcache_ports != 0 && cfg.ports != dcache_ports)
             continue;
-        offer(d_cands, cfg, "D$" + cfg.name(), [&] {
+        d_configs.push_back(cfg);
+    }
+
+    auto i_cands = evalSubspace(
+        spaces_.icache.enumerate(), "I$",
+        [&](const cache::CacheConfig &cfg) {
+            return icacheEval_.misses(cfg, dilation) *
+                   stalls_.l2HitLatency;
+        });
+    auto d_cands = evalSubspace(
+        d_configs, "D$", [&](const cache::CacheConfig &cfg) {
             return dcacheEval_.misses(cfg) * stalls_.l2HitLatency;
         });
-    }
-    for (const auto &cfg : spaces_.ucache.enumerate()) {
-        offer(u_cands, cfg, "U$" + cfg.name(), [&] {
+    auto u_cands = evalSubspace(
+        spaces_.ucache.enumerate(), "U$",
+        [&](const cache::CacheConfig &cfg) {
             return ucacheEval_.misses(cfg, dilation) *
                    stalls_.memoryLatency;
         });
-    }
 
     ParetoSet out;
     for (const auto &ic : front(i_cands)) {
@@ -160,6 +195,31 @@ struct ClassContext
     ir::Program prog;
     workloads::MachineBuild refBuild;
     std::unique_ptr<MemoryWalker> memory;
+    /** Set when the reference setup of this class failed. */
+    std::exception_ptr error;
+};
+
+/** Per-design exploration plan (phase 1 output). */
+struct DesignPlan
+{
+    bool predicated = false;
+    std::optional<machine::MachineDesc> mdes;
+    /** Set when the machine description could not be built. */
+    std::exception_ptr descError;
+};
+
+/** Per-design exploration outcome (phase 3 output, merged in
+ *  design order by phase 4). */
+struct DesignOutcome
+{
+    bool ok = false;
+    double dilation = 0.0;
+    uint64_t cycles = 0;
+    DesignPoint processor;
+    std::vector<DesignPoint> systems;
+    /** Cache-config failures recorded while composing (compose
+     *  stage), plus at most one machine-level failure. */
+    FailureLog failures;
 };
 
 } // namespace
@@ -169,57 +229,93 @@ Spacewalker::explore(const ir::Program &prog)
 {
     using machine::MachineDesc;
 
-    // One reference processor (and one set of reference-trace
-    // simulations) per trace-equivalence class: the paper prescribes
-    // a separate Pref for each predication/speculation combination.
+    const size_t n = machineNames_.size();
+    support::ThreadPool pool(
+        support::ThreadPool::resolveJobs(options_.jobs) - 1);
+
+    // Phase 1 (serial, cheap): machine descriptions. A bad name is
+    // remembered and surfaces from its design's own evaluation so
+    // per-design isolation and failure ordering stay intact.
+    std::vector<DesignPlan> plans(n);
+    for (size_t i = 0; i < n; ++i) {
+        try {
+            plans[i].mdes = MachineDesc::fromName(machineNames_[i]);
+            plans[i].predicated = plans[i].mdes->predRegs > 0;
+        } catch (const PanicError &) {
+            throw; // internal bugs always propagate
+        } catch (const std::exception &) {
+            plans[i].descError = std::current_exception();
+        }
+    }
+
+    // Phase 2 (serial across classes, parallel within): one
+    // reference processor (and one set of reference-trace
+    // simulations) per trace-equivalence class — the paper
+    // prescribes a separate Pref for each predication/speculation
+    // combination. The reference trace is generated once and its
+    // per-line-size Cheetah sweeps run on the pool.
     std::map<bool, std::unique_ptr<ClassContext>> classes;
-    auto classFor = [&](const MachineDesc &mdes) -> ClassContext & {
-        bool predicated = mdes.predRegs > 0;
-        auto it = classes.find(predicated);
-        if (it != classes.end())
-            return *it->second;
-
-        std::string ref_name = options_.referenceMachine;
-        if (predicated && ref_name.back() != 'p')
-            ref_name += 'p';
-        auto ref_mdes = MachineDesc::fromName(ref_name);
-
+    for (const auto &plan : plans) {
+        if (!plan.mdes || classes.count(plan.predicated))
+            continue;
         auto ctx = std::make_unique<ClassContext>();
-        ctx->prog = workloads::programForClass(prog, ref_mdes,
-                                               options_.traceBlocks);
-        ctx->refBuild = workloads::buildFor(ctx->prog, ref_mdes);
-        ctx->memory = std::make_unique<MemoryWalker>(
-            spaces_, options_.stalls, options_.iGranule,
-            options_.uGranule);
-        trace::TraceGenerator gen(ctx->prog, ctx->refBuild.sched,
-                                  ctx->refBuild.bin);
-        uint64_t blocks = options_.traceBlocks;
-        auto source = [&gen, blocks](trace::TraceKind kind) {
-            return TraceSource([&gen, kind,
-                                blocks](const TraceSink &sink) {
-                gen.generate(kind, sink, blocks);
-            });
-        };
-        ctx->memory->evaluate(source(trace::TraceKind::Instruction),
-                              source(trace::TraceKind::Data),
-                              source(trace::TraceKind::Unified));
-        return *classes.emplace(predicated, std::move(ctx))
-                    .first->second;
-    };
+        try {
+            std::string ref_name = options_.referenceMachine;
+            if (plan.predicated && ref_name.back() != 'p')
+                ref_name += 'p';
+            auto ref_mdes = MachineDesc::fromName(ref_name);
 
-    ExplorationResult result;
-    for (const auto &name : machineNames_) {
-        // One infeasible or failing design must not destroy the
-        // walk: every per-design error is recorded in the
-        // FailureLog and the exploration continues. Results commit
-        // atomically per design — a machine that fails mid-compose
-        // contributes no points at all.
+            ctx->prog = workloads::programForClass(
+                prog, ref_mdes, options_.traceBlocks);
+            ctx->refBuild = workloads::buildFor(ctx->prog, ref_mdes);
+            ctx->memory = std::make_unique<MemoryWalker>(
+                spaces_, options_.stalls, options_.iGranule,
+                options_.uGranule);
+            ctx->memory->setThreadPool(&pool);
+            trace::TraceGenerator gen(ctx->prog, ctx->refBuild.sched,
+                                      ctx->refBuild.bin);
+            uint64_t blocks = options_.traceBlocks;
+            auto source = [&gen, blocks](trace::TraceKind kind) {
+                return TraceSource([&gen, kind,
+                                    blocks](const TraceSink &sink) {
+                    gen.generate(kind, sink, blocks);
+                });
+            };
+            ctx->memory->evaluate(
+                source(trace::TraceKind::Instruction),
+                source(trace::TraceKind::Data),
+                source(trace::TraceKind::Unified));
+        } catch (const PanicError &) {
+            throw; // internal bugs always propagate
+        } catch (const std::exception &) {
+            ctx->error = std::current_exception();
+            ctx->memory.reset();
+        }
+        classes.emplace(plan.predicated, std::move(ctx));
+    }
+
+    // Phase 3 (parallel): evaluate every design. Each task writes
+    // only its own outcome slot; nothing here touches the shared
+    // result. One infeasible or failing design must not destroy the
+    // walk: every per-design error is recorded in the task's own
+    // FailureLog and the exploration continues. Results commit
+    // atomically per design — a machine that fails mid-compose
+    // contributes no points at all.
+    std::vector<DesignOutcome> outcomes(n);
+    std::atomic<uint64_t> completed{0};
+    support::parallelFor(n, &pool, [&](size_t i) {
+        const auto &name = machineNames_[i];
+        const auto &plan = plans[i];
+        auto &out = outcomes[i];
         const char *stage = "machine-description";
         try {
             support::faultPoint("Spacewalker::evaluateDesign");
-            auto mdes = MachineDesc::fromName(name);
+            if (plan.descError)
+                std::rethrow_exception(plan.descError);
             stage = "reference-setup";
-            auto &cls = classFor(mdes);
+            auto &cls = *classes.at(plan.predicated);
+            if (cls.error)
+                std::rethrow_exception(cls.error);
 
             // Per-machine metrics flow through the EvaluationCache
             // (section 5.1): a hit skips the whole compile/assemble/
@@ -230,7 +326,8 @@ Spacewalker::explore(const ir::Program &prog)
             for (uint32_t ports : spaces_.dcache.portCounts)
                 key += ";p" + std::to_string(ports);
             auto metrics = cache_.getOrCompute(key, [&]() {
-                auto build = workloads::buildFor(cls.prog, mdes);
+                auto build = workloads::buildFor(cls.prog,
+                                                 *plan.mdes);
                 std::vector<double> v;
                 v.push_back(linker::textDilation(build.bin,
                                                  cls.refBuild.bin));
@@ -244,52 +341,68 @@ Spacewalker::explore(const ir::Program &prog)
                 return v;
             });
 
-            double dilation = metrics[0];
-            DesignPoint proc;
-            proc.id = "P" + name;
-            proc.cost = mdes.cost();
-            proc.time = metrics[1];
+            out.dilation = metrics[0];
+            out.cycles = static_cast<uint64_t>(metrics[1]);
+            out.processor.id = "P" + name;
+            out.processor.cost = plan.mdes->cost();
+            out.processor.time = metrics[1];
 
             // Compose systems per data-cache port constraint: ports
             // couple the cache to the processor's memory issue rate.
             stage = "compose";
-            std::vector<DesignPoint> systems;
             for (size_t pi = 0;
                  pi < spaces_.dcache.portCounts.size(); ++pi) {
                 uint32_t ports = spaces_.dcache.portCounts[pi];
                 double cycles = metrics[2 + pi];
                 ParetoSet mem = cls.memory->pareto(
-                    dilation, ports, &result.failures);
+                    out.dilation, ports, &out.failures);
                 for (const auto &hierarchy : mem.points()) {
                     DesignPoint sys;
-                    sys.id = proc.id + "+" + hierarchy.id;
-                    sys.cost = proc.cost + hierarchy.cost;
+                    sys.id = out.processor.id + "+" + hierarchy.id;
+                    sys.cost = out.processor.cost + hierarchy.cost;
                     sys.time = cycles + hierarchy.time;
-                    systems.push_back(sys);
+                    out.systems.push_back(sys);
                 }
             }
-
-            result.dilations[name] = dilation;
-            result.processorCycles[name] =
-                static_cast<uint64_t>(metrics[1]);
-            result.processors.insertPoint(proc);
-            for (const auto &sys : systems)
-                result.systems.insertPoint(sys);
+            out.ok = true;
         } catch (const PanicError &) {
             throw; // internal bugs always propagate
         } catch (const std::exception &e) {
             if (options_.haltOnFailure)
                 throw;
-            result.failures.record(name, stage, e.what());
-            continue;
+            out.failures.record(name, stage, e.what());
+            return;
         }
 
         // Periodic checkpoint: an interrupted run resumes from the
-        // evaluation cache's last flushed generation.
-        ++result.evaluatedDesigns;
+        // evaluation cache's last flushed generation. The trigger
+        // counts *completions* (schedule-dependent timing, but
+        // flush() writes a sorted snapshot, so the final database
+        // bytes never depend on when checkpoints fired).
+        uint64_t done =
+            completed.fetch_add(1, std::memory_order_acq_rel) + 1;
         if (options_.checkpointEvery != 0 &&
-            result.evaluatedDesigns % options_.checkpointEvery == 0)
+            done % options_.checkpointEvery == 0)
             cache_.flush();
+    });
+
+    // Phase 4 (serial): merge outcomes in design order. This is the
+    // only writer of the shared result, so Pareto insertion order,
+    // FailureLog ordering and evaluatedDesigns are identical to the
+    // serial walk no matter how phase 3 was scheduled.
+    ExplorationResult result;
+    for (size_t i = 0; i < n; ++i) {
+        auto &out = outcomes[i];
+        result.failures.append(out.failures);
+        if (!out.ok)
+            continue;
+        const auto &name = machineNames_[i];
+        result.dilations[name] = out.dilation;
+        result.processorCycles[name] = out.cycles;
+        result.processors.insertPoint(out.processor);
+        for (const auto &sys : out.systems)
+            result.systems.insertPoint(sys);
+        ++result.evaluatedDesigns;
     }
     cache_.flush();
 
@@ -299,12 +412,18 @@ Spacewalker::explore(const ir::Program &prog)
              " design(s); ", result.evaluatedDesigns, " evaluated");
 
     // Keep the base class's walker accessible for callers that want
-    // to inspect the memory design space after exploration.
-    if (!classes.empty()) {
-        auto base = classes.find(false);
-        if (base == classes.end())
-            base = classes.begin();
-        memory_ = std::move(base->second->memory);
+    // to inspect the memory design space after exploration. The
+    // pool dies with this frame, so detach it first.
+    for (auto &[pred, ctx] : classes) {
+        if (ctx->memory)
+            ctx->memory->setThreadPool(nullptr);
+    }
+    for (auto pred : {false, true}) {
+        auto it = classes.find(pred);
+        if (it != classes.end() && it->second->memory) {
+            memory_ = std::move(it->second->memory);
+            break;
+        }
     }
     return result;
 }

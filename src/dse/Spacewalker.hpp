@@ -27,6 +27,7 @@
 #include "dse/Pareto.hpp"
 #include "ir/Program.hpp"
 #include "machine/MachineDesc.hpp"
+#include "support/ThreadPool.hpp"
 
 namespace pico::dse
 {
@@ -56,11 +57,19 @@ class MemoryWalker
 
     /**
      * Evaluate all three subsystems from reference traces, one pass
-     * each.
+     * each. With a thread pool attached, the per-line-size Cheetah
+     * sweeps of each subsystem run concurrently.
      */
     void evaluate(const TraceSource &instr_trace,
                   const TraceSource &data_trace,
                   const TraceSource &unified_trace);
+
+    /**
+     * Attach (or detach, with nullptr) the pool used by evaluate()
+     * and pareto(). The walker never owns the pool; results are
+     * identical with and without one.
+     */
+    void setThreadPool(support::ThreadPool *pool) { pool_ = pool; }
 
     /** Stall cycles of one hierarchy at one dilation. */
     double stallCycles(const cache::CacheConfig &icache,
@@ -97,6 +106,7 @@ class MemoryWalker
     IcacheEvaluator icacheEval_;
     DcacheEvaluator dcacheEval_;
     UcacheEvaluator ucacheEval_;
+    support::ThreadPool *pool_ = nullptr;
 };
 
 /** Result bundle of a full system exploration. */
@@ -148,9 +158,18 @@ class Spacewalker
         uint64_t checkpointEvery = 8;
         /**
          * Rethrow per-design failures instead of recording them in
-         * the FailureLog and continuing (debugging aid).
+         * the FailureLog and continuing (debugging aid). In a
+         * parallel walk the failure of the *earliest* design in
+         * walk order is the one rethrown, matching the serial walk.
          */
         bool haltOnFailure = false;
+        /**
+         * Worker threads of the exploration (the --jobs knob):
+         * 1 = serial (the default), N = N-way parallel, 0 = one per
+         * hardware thread. Results — Pareto sets, failure ordering,
+         * evaluation-cache bytes — are identical for every value.
+         */
+        unsigned jobs = 1;
     };
 
     Spacewalker(MemorySpaces spaces,

@@ -21,9 +21,10 @@ void
 FaultInjector::arm(const std::string &site, uint64_t skip,
                    uint64_t fires)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto &s = sites_[site];
     if (!s.armed)
-        ++armedCount_;
+        armedCount_.fetch_add(1, std::memory_order_release);
     s.armed = true;
     s.skip = s.hits + skip;
     s.fires = fires;
@@ -32,29 +33,33 @@ FaultInjector::arm(const std::string &site, uint64_t skip,
 void
 FaultInjector::disarm(const std::string &site)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = sites_.find(site);
     if (it == sites_.end() || !it->second.armed)
         return;
     it->second.armed = false;
-    --armedCount_;
+    armedCount_.fetch_sub(1, std::memory_order_release);
 }
 
 void
 FaultInjector::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     sites_.clear();
-    armedCount_ = 0;
+    armedCount_.store(0, std::memory_order_release);
 }
 
 bool
 FaultInjector::shouldFail(const std::string &site)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto &s = sites_[site];
     uint64_t hit = s.hits++;
     if (!s.armed || hit < s.skip)
         return false;
     if (s.fires != 0 && hit >= s.skip + s.fires) {
-        disarm(site);
+        s.armed = false;
+        armedCount_.fetch_sub(1, std::memory_order_release);
         return false;
     }
     return true;
@@ -63,6 +68,7 @@ FaultInjector::shouldFail(const std::string &site)
 uint64_t
 FaultInjector::hits(const std::string &site) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = sites_.find(site);
     return it == sites_.end() ? 0 : it->second.hits;
 }

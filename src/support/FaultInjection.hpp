@@ -26,8 +26,10 @@
 #ifndef PICO_SUPPORT_FAULT_INJECTION_HPP
 #define PICO_SUPPORT_FAULT_INJECTION_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -80,7 +82,11 @@ class FaultInjector
     uint64_t hits(const std::string &site) const;
 
     /** True when any site is currently armed. */
-    bool anyArmed() const { return armedCount_ > 0; }
+    bool
+    anyArmed() const
+    {
+        return armedCount_.load(std::memory_order_acquire) > 0;
+    }
 
   private:
     FaultInjector() = default;
@@ -93,8 +99,14 @@ class FaultInjector
         bool armed = false;
     };
 
+    /**
+     * Sites fire from parallel walks, so the registry is guarded by
+     * a mutex; the armed count is a separate atomic so the unarmed
+     * fast path in faultPoint() stays lock-free.
+     */
+    mutable std::mutex mutex_;
     std::map<std::string, Site> sites_;
-    uint64_t armedCount_ = 0;
+    std::atomic<uint64_t> armedCount_{0};
 };
 
 /**

@@ -10,7 +10,12 @@ namespace detail
 void
 emitMessage(const char *label, const std::string &msg)
 {
-    std::cerr << label << ": " << msg << std::endl;
+    // One formatted write per message: parallel walks report from
+    // several threads, and piecewise inserts would interleave.
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line.append(label).append(": ").append(msg).push_back('\n');
+    std::cerr << line << std::flush;
 }
 
 } // namespace detail

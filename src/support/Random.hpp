@@ -26,6 +26,21 @@ class Rng
     /** Construct from a 64-bit seed; any seed value is acceptable. */
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
 
+    /**
+     * Independent generator for one task of a parallel loop: tasks
+     * must never share an Rng (data race, schedule-dependent
+     * results), so each derives its own stream from the experiment
+     * seed and its loop index. Deterministic in (seed, stream) and
+     * independent of thread count or schedule.
+     */
+    static Rng
+    forStream(uint64_t seed, uint64_t stream)
+    {
+        // Mix with distinct odd constants so streams of adjacent
+        // indices land far apart in splitmix64's sequence.
+        return Rng(seed ^ (0xd1342543de82ef95ULL * (stream + 1)));
+    }
+
     /** Re-initialize the generator state from a seed. */
     void
     reseed(uint64_t seed)

@@ -1,0 +1,156 @@
+#include "support/ThreadPool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "support/Logging.hpp"
+
+namespace pico::support
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    panicIf(threads_.empty(),
+            "task submitted to a zero-worker thread pool");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panicIf(stop_, "task submitted to a stopping thread pool");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+unsigned
+ThreadPool::resolveJobs(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+namespace
+{
+
+/** Shared state of one parallelFor: claim counter, completion
+ *  counter, and the smallest-index exception. */
+struct LoopState
+{
+    LoopState(size_t n, std::function<void(size_t)> fn)
+        : total(n), body(std::move(fn))
+    {}
+
+    const size_t total;
+    /** Owned copy: helper tasks may outlive the caller's frame. */
+    const std::function<void(size_t)> body;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;     // guarded by mutex
+    size_t errorIndex = SIZE_MAX; // guarded by mutex
+
+    /** Claim and run indices until the counter is exhausted. */
+    void
+    drain()
+    {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (i < errorIndex) {
+                    errorIndex = i;
+                    error = std::current_exception();
+                }
+            }
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                total) {
+                std::lock_guard<std::mutex> lock(mutex);
+                cv.notify_all();
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+parallelFor(size_t n, ThreadPool *pool,
+            const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (!pool || pool->workers() == 0 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // The state is shared so a helper task that wakes after the
+    // caller has already returned still finds a live counter (it
+    // sees it exhausted and exits immediately).
+    auto state = std::make_shared<LoopState>(n, body);
+    size_t helpers =
+        std::min<size_t>(pool->workers(), n - 1);
+    for (size_t h = 0; h < helpers; ++h)
+        pool->submit([state] { state->drain(); });
+
+    // Caller participation: guarantees forward progress even when
+    // every worker is busy with an outer loop, which is what makes
+    // nested parallelFor calls deadlock-free.
+    state->drain();
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&state] {
+        return state->done.load(std::memory_order_acquire) ==
+               state->total;
+    });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace pico::support

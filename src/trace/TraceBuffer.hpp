@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Materialized address trace for multi-pass consumers.
+ *
+ * The reference trace is normally *streamed* (one pass, no storage),
+ * but the parallel evaluators need several independent read-only
+ * sweeps over the same reference trace — one per Cheetah line size —
+ * running concurrently. A TraceBuffer captures the stream once; the
+ * buffer is immutable afterwards, so any number of threads may
+ * replay it without synchronization.
+ */
+
+#ifndef PICO_TRACE_TRACE_BUFFER_HPP
+#define PICO_TRACE_TRACE_BUFFER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/Access.hpp"
+
+namespace pico::trace
+{
+
+/** Sink-compatible collector of one address trace. */
+class TraceBuffer
+{
+  public:
+    /** Sink interface: append one reference. */
+    void operator()(const Access &a) { accesses_.push_back(a); }
+
+    const std::vector<Access> &accesses() const { return accesses_; }
+    size_t size() const { return accesses_.size(); }
+    bool empty() const { return accesses_.empty(); }
+
+    /** Replay the trace into any sink(const Access &). */
+    template <typename Sink>
+    void
+    replay(Sink &&sink) const
+    {
+        for (const auto &a : accesses_)
+            sink(a);
+    }
+
+  private:
+    std::vector<Access> accesses_;
+};
+
+} // namespace pico::trace
+
+#endif // PICO_TRACE_TRACE_BUFFER_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the ThreadPool / parallelFor primitives: serial
+ * equivalence, exception discipline, nesting, and the per-task RNG
+ * stream helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/Random.hpp"
+#include "support/ThreadPool.hpp"
+
+namespace pico::support
+{
+namespace
+{
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 0u);
+    std::vector<size_t> order;
+    parallelFor(5, &pool, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, NullPoolRunsInline)
+{
+    std::vector<size_t> order;
+    parallelFor(4, nullptr, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t n = 10000;
+    std::vector<std::atomic<int>> counts(n);
+    parallelFor(n, &pool, [&](size_t i) { ++counts[i]; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ResultsIndependentOfWorkerCount)
+{
+    // The merge discipline: each body writes its own slot, so any
+    // worker count yields the same slot contents.
+    auto run = [](unsigned workers) {
+        ThreadPool pool(workers);
+        std::vector<uint64_t> slots(257);
+        parallelFor(slots.size(), &pool, [&](size_t i) {
+            Rng rng = Rng::forStream(12345, i);
+            slots[i] = rng.next();
+        });
+        return slots;
+    };
+    auto serial = run(0);
+    EXPECT_EQ(serial, run(1));
+    EXPECT_EQ(serial, run(7));
+}
+
+TEST(ThreadPool, SmallestIndexExceptionWins)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 10; ++round) {
+        try {
+            parallelFor(64, &pool, [&](size_t i) {
+                if (i % 2 == 1)
+                    throw std::runtime_error(
+                        "fail@" + std::to_string(i));
+            });
+            FAIL() << "parallelFor swallowed the exceptions";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "fail@1");
+        }
+    }
+}
+
+TEST(ThreadPool, ExceptionDoesNotLoseIndices)
+{
+    // Bodies after a failing index still run (no cancellation), so
+    // partial results remain complete except for the failed slots.
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> counts(128);
+    EXPECT_THROW(parallelFor(128, &pool,
+                             [&](size_t i) {
+                                 ++counts[i];
+                                 if (i == 0)
+                                     throw std::runtime_error("x");
+                             }),
+                 std::runtime_error);
+    for (size_t i = 0; i < counts.size(); ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // Outer bodies block on inner loops; caller participation must
+    // keep everything moving even when the pool is oversubscribed.
+    ThreadPool pool(2);
+    std::atomic<uint64_t> total{0};
+    parallelFor(8, &pool, [&](size_t) {
+        parallelFor(8, &pool,
+                    [&](size_t j) { total += j + 1; });
+    });
+    EXPECT_EQ(total.load(), 8u * 36u);
+}
+
+TEST(ThreadPool, EmptyLoopIsANoop)
+{
+    ThreadPool pool(2);
+    parallelFor(0, &pool,
+                [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, ResolveJobs)
+{
+    EXPECT_EQ(ThreadPool::resolveJobs(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveJobs(6), 6u);
+    EXPECT_GE(ThreadPool::resolveJobs(0), 1u);
+}
+
+TEST(RngStreams, StreamsAreDeterministicAndDistinct)
+{
+    Rng a = Rng::forStream(99, 0);
+    Rng a2 = Rng::forStream(99, 0);
+    Rng b = Rng::forStream(99, 1);
+    uint64_t va = a.next();
+    EXPECT_EQ(va, a2.next());
+    EXPECT_NE(va, b.next());
+    // Different seeds give different streams of the same index.
+    Rng c = Rng::forStream(100, 0);
+    EXPECT_NE(va, c.next());
+}
+
+} // namespace
+} // namespace pico::support
