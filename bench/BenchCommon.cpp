@@ -1,11 +1,16 @@
 #include "bench/BenchCommon.hpp"
 
+#include <fstream>
+#include <sstream>
+
 #include "cache/CacheSim.hpp"
 #include "core/DilationModel.hpp"
 #include "core/TraceModel.hpp"
 #include "linker/LinkedBinary.hpp"
 #include "machine/MachineDesc.hpp"
 #include "support/Logging.hpp"
+#include "support/Metrics.hpp"
+#include "support/RunReport.hpp"
 #include "trace/TraceGenerator.hpp"
 
 namespace pico::bench
@@ -226,6 +231,101 @@ AppContext
 buildApp(const std::string &name)
 {
     return AppContext(workloads::specByName(name));
+}
+
+// --- BenchReport -------------------------------------------------------
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void
+BenchReport::addTable(const TextTable &table)
+{
+    tables_.push_back(
+        Table{table.title(), table.header(), table.rowData()});
+}
+
+void
+BenchReport::setMetric(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << value;
+    metrics_[key] = oss.str();
+}
+
+void
+BenchReport::setMetric(const std::string &key, uint64_t value)
+{
+    metrics_[key] = std::to_string(value);
+}
+
+void
+BenchReport::setInfo(const std::string &key, const std::string &value)
+{
+    info_[key] = value;
+}
+
+std::string
+BenchReport::toJson() const
+{
+    using support::jsonEscape;
+    std::ostringstream os;
+    os << "{\"schema\":\"" << schema << "\",\"bench\":\""
+       << jsonEscape(name_) << "\",\"git\":\""
+       << jsonEscape(support::buildVersion()) << "\",\"info\":{";
+    bool first = true;
+    for (const auto &[key, value] : info_) {
+        os << (first ? "" : ",") << '"' << jsonEscape(key)
+           << "\":\"" << jsonEscape(value) << '"';
+        first = false;
+    }
+    os << "},\"metrics\":{";
+    first = true;
+    for (const auto &[key, value] : metrics_) {
+        // Values are pre-formatted JSON numbers.
+        os << (first ? "" : ",") << '"' << jsonEscape(key)
+           << "\":" << value;
+        first = false;
+    }
+    os << "},\"tables\":[";
+    for (size_t t = 0; t < tables_.size(); ++t) {
+        const auto &table = tables_[t];
+        os << (t ? "," : "") << "{\"title\":\""
+           << jsonEscape(table.title) << "\",\"header\":[";
+        for (size_t i = 0; i < table.header.size(); ++i)
+            os << (i ? "," : "") << '"' << jsonEscape(table.header[i])
+               << '"';
+        os << "],\"rows\":[";
+        for (size_t r = 0; r < table.rows.size(); ++r) {
+            os << (r ? "," : "") << '[';
+            for (size_t i = 0; i < table.rows[r].size(); ++i)
+                os << (i ? "," : "") << '"'
+                   << jsonEscape(table.rows[r][i]) << '"';
+            os << ']';
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+BenchReport::write(const std::string &dir) const
+{
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot write bench report '", path, "'");
+        return false;
+    }
+    out << toJson() << '\n';
+    out.flush();
+    if (!out) {
+        warn("writing bench report '", path, "' failed");
+        return false;
+    }
+    inform("bench report written to ", path);
+    return true;
 }
 
 } // namespace pico::bench

@@ -145,6 +145,54 @@ std::vector<AppContext> buildSuite();
 /** Build one context by benchmark name. */
 AppContext buildApp(const std::string &name);
 
+/**
+ * Machine-readable bench results: collects the tables and scalar
+ * metrics a bench prints and writes them as one deterministic JSON
+ * document (`BENCH_<name>.json` by default), so CI can archive and
+ * diff experiment results instead of scraping stdout.
+ */
+class BenchReport
+{
+  public:
+    /** Schema tag written into every document. */
+    static constexpr const char *schema = "picoeval-bench-v1";
+
+    /** @param name bench identifier (e.g. "table2"). */
+    explicit BenchReport(std::string name);
+
+    /** Record a finished table (call after the rows are added). */
+    void addTable(const TextTable &table);
+
+    /** Record one scalar result. */
+    void setMetric(const std::string &key, double value);
+    void setMetric(const std::string &key, uint64_t value);
+
+    /** Attach one configuration fact (string-valued). */
+    void setInfo(const std::string &key, const std::string &value);
+
+    /** Render the document (sorted keys, fixed formatting). */
+    std::string toJson() const;
+
+    /**
+     * Write `BENCH_<name>.json` into `dir` (default: the working
+     * directory). @return false (after a warn()) on I/O failure.
+     */
+    bool write(const std::string &dir = ".") const;
+
+  private:
+    struct Table
+    {
+        std::string title;
+        std::vector<std::string> header;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    std::string name_;
+    std::vector<Table> tables_;
+    std::map<std::string, std::string> metrics_;
+    std::map<std::string, std::string> info_;
+};
+
 } // namespace pico::bench
 
 #endif // PICO_BENCH_BENCH_COMMON_HPP

@@ -21,7 +21,8 @@ namespace
 
 void
 report(const std::vector<bench::AppContext> &suite,
-       const cache::CacheConfig &cfg, const std::string &title)
+       const cache::CacheConfig &cfg, const std::string &title,
+       bench::BenchReport &out)
 {
     TextTable table(title);
     std::vector<std::string> header = {"Benchmark"};
@@ -43,6 +44,7 @@ report(const std::vector<bench::AppContext> &suite,
     }
     table.print(std::cout);
     std::cout << "\n";
+    out.addTable(table);
 }
 
 } // namespace
@@ -53,9 +55,14 @@ main()
     std::cout << "Table 2: relative data cache miss rates "
                  "(normalized to the 1111 reference)\n\n";
     auto suite = bench::buildSuite();
+    bench::BenchReport json("table2");
+    json.setInfo("experiment",
+                 "relative data-cache miss rates vs 1111");
+    json.setMetric("benchmarks",
+                   static_cast<uint64_t>(suite.size()));
     report(suite, bench::smallDcache(),
-           "Relative Data Cache Miss rates (1 KB)");
+           "Relative Data Cache Miss rates (1 KB)", json);
     report(suite, bench::largeDcache(),
-           "Relative Data Cache Miss rates (16 KB)");
-    return 0;
+           "Relative Data Cache Miss rates (16 KB)", json);
+    return json.write() ? 0 : 1;
 }

@@ -4,11 +4,19 @@
  * the cost-performance-optimal (Pareto) systems, the way an
  * automated embedded-system design flow would.
  *
- * Usage: design_space_walk [app] [--jobs N]
+ * Usage: design_space_walk [app] [--jobs N] [--metrics-out FILE]
+ *                          [--trace-out FILE] [--cache FILE]
  *   app      one of the suite names (default rasta)
  *   --jobs N worker threads for the walk (default 1 = serial,
  *            0 = one per hardware thread); results are identical
  *            for every N
+ *   --metrics-out FILE  enable the metrics registry and write a
+ *            machine-readable run report (JSON) after the walk
+ *   --trace-out FILE    record spans and write a Chrome trace-event
+ *            file (load in chrome://tracing or ui.perfetto.dev)
+ *   --cache FILE        persistent evaluation-cache database; rerun
+ *            with the same file to see disk hits in the report
+ * Flags accept both `--flag value` and `--flag=value`.
  */
 
 #include <cstdlib>
@@ -16,26 +24,63 @@
 #include <string>
 
 #include "dse/Spacewalker.hpp"
+#include "support/Metrics.hpp"
+#include "support/RunReport.hpp"
 #include "support/Table.hpp"
+#include "support/TraceEvents.hpp"
 #include "workloads/AppSpec.hpp"
 #include "workloads/Toolchain.hpp"
 
 using namespace pico;
+
+namespace
+{
+
+/** Match `--flag value` or `--flag=value`; fills `value` on match. */
+bool
+flagValue(int argc, char **argv, int &i, const std::string &flag,
+          std::string &value)
+{
+    std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+        value = argv[++i];
+        return true;
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+        value = arg.substr(flag.size() + 1);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string app_name = "rasta";
     unsigned jobs = 1;
+    std::string metrics_out, trace_out, cache_path, value;
     for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--jobs" && i + 1 < argc) {
+        if (flagValue(argc, argv, i, "--jobs", value)) {
             jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flagValue(argc, argv, i, "--metrics-out",
+                             metrics_out) ||
+                   flagValue(argc, argv, i, "--trace-out",
+                             trace_out) ||
+                   flagValue(argc, argv, i, "--cache", cache_path)) {
+            // value captured by flagValue
         } else {
-            app_name = arg;
+            app_name = argv[i];
         }
     }
+    // Instrumentation is opt-in: without the flags the walk runs
+    // with the registry disabled (a relaxed load per call site).
+    if (!metrics_out.empty())
+        support::setMetricsEnabled(true);
+    if (!trace_out.empty())
+        support::setTraceEnabled(true);
     auto prog = workloads::buildAndProfile(
         workloads::specByName(app_name));
 
@@ -50,6 +95,7 @@ main(int argc, char **argv)
     dse::Spacewalker::Options opts;
     opts.traceBlocks = 40000;
     opts.jobs = jobs;
+    opts.evaluationCachePath = cache_path;
     dse::Spacewalker walker(spaces, machines, opts);
 
     std::cout << "exploring " << machines.size() << " processors x "
@@ -86,6 +132,40 @@ main(int argc, char **argv)
               << " cost-performance optimal. Every cache metric came "
                  "from reference-trace simulation plus the dilation "
                  "model.\n";
+
+    if (!cache_path.empty()) {
+        auto stats = walker.evaluationCache().stats();
+        std::cout << "\nevaluation cache '" << cache_path << "': "
+                  << stats.hits << " hit(s) (" << stats.diskHits
+                  << " from a previous run), " << stats.computed
+                  << " computed this run, " << stats.saves
+                  << " checkpoint(s)\n";
+    }
+
+    if (!metrics_out.empty()) {
+        support::RunReport report;
+        report.set("app", app_name);
+        report.set("jobs", static_cast<uint64_t>(jobs));
+        report.set("jobs.resolved",
+                   static_cast<uint64_t>(
+                       support::ThreadPool::resolveJobs(jobs)));
+        report.set("machines",
+                   static_cast<uint64_t>(machines.size()));
+        report.set("trace.blocks", opts.traceBlocks);
+        report.set("designs.evaluated", result.evaluatedDesigns);
+        report.set("designs.failed",
+                   static_cast<uint64_t>(result.failures.size()));
+        report.set("pareto.systems",
+                   static_cast<uint64_t>(sorted.size()));
+        if (report.write(metrics_out))
+            std::cout << "run report written to " << metrics_out
+                      << "\n";
+    }
+    if (!trace_out.empty() &&
+        support::TraceRecorder::instance().writeJson(trace_out)) {
+        std::cout << "trace written to " << trace_out
+                  << " (load in chrome://tracing)\n";
+    }
 
     // A failing design is skipped and logged, not fatal: report
     // whether this walk was complete.

@@ -1,12 +1,15 @@
 #include "dse/EvaluationCache.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "support/FaultInjection.hpp"
 #include "support/Logging.hpp"
+#include "support/Metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -83,16 +86,75 @@ EvaluationCache::~EvaluationCache()
     }
 }
 
+namespace
+{
+
+/**
+ * Per-shard registry counters, resolved once per process. The names
+ * are global (not per cache instance): the process-level question is
+ * "how did the striped table behave", aggregated over every cache.
+ */
+support::Counter &
+shardMetricCounter(const char *what, size_t index)
+{
+    using CounterArray =
+        std::array<support::Counter *, EvaluationCache::shardCount>;
+    auto build = [](const char *suffix) {
+        CounterArray a{};
+        for (size_t k = 0; k < EvaluationCache::shardCount; ++k) {
+            char name[64];
+            std::snprintf(name, sizeof(name),
+                          "evalcache.shard%02zu.%s", k, suffix);
+            a[k] = &support::metrics().counter(name);
+        }
+        return a;
+    };
+    static CounterArray hits = build("hits");
+    static CounterArray misses = build("misses");
+    static CounterArray stores = build("stores");
+    if (std::string_view(what) == "hits")
+        return *hits[index];
+    if (std::string_view(what) == "misses")
+        return *misses[index];
+    return *stores[index];
+}
+
+} // namespace
+
+size_t
+EvaluationCache::shardIndexOf(const std::string &key) const
+{
+    return std::hash<std::string>{}(key) % shardCount;
+}
+
 EvaluationCache::Shard &
 EvaluationCache::shardFor(const std::string &key)
 {
-    return shards_[std::hash<std::string>{}(key) % shardCount];
+    return shards_[shardIndexOf(key)];
 }
 
 const EvaluationCache::Shard &
 EvaluationCache::shardFor(const std::string &key) const
 {
-    return shards_[std::hash<std::string>{}(key) % shardCount];
+    return shards_[shardIndexOf(key)];
+}
+
+void
+EvaluationCache::recordHit(size_t shard_index, bool from_disk) const
+{
+    ++hits_;
+    if (from_disk)
+        ++diskHits_;
+    if (support::metricsEnabled())
+        shardMetricCounter("hits", shard_index).add(1);
+}
+
+void
+EvaluationCache::recordMiss(size_t shard_index) const
+{
+    ++misses_;
+    if (support::metricsEnabled())
+        shardMetricCounter("misses", shard_index).add(1);
 }
 
 std::vector<double>
@@ -100,20 +162,22 @@ EvaluationCache::getOrCompute(
     const std::string &key,
     const std::function<std::vector<double>()> &compute)
 {
-    auto &shard = shardFor(key);
+    size_t index = shardIndexOf(key);
+    auto &shard = shards_[index];
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto it = shard.table.find(key);
         if (it != shard.table.end()) {
-            ++hits_;
-            return it->second;
+            recordHit(index, it->second.fromDisk);
+            return it->second.values;
         }
     }
     // Compute outside the lock: evaluating a machine takes seconds,
     // and holding a shard mutex through it would serialize every
     // other key that hashes to the same shard.
-    ++misses_;
+    recordMiss(index);
     auto values = compute();
+    ++computed_;
     store(key, values);
     return values;
 }
@@ -122,15 +186,16 @@ bool
 EvaluationCache::lookup(const std::string &key,
                         std::vector<double> &values) const
 {
-    const auto &shard = shardFor(key);
+    size_t index = shardIndexOf(key);
+    const auto &shard = shards_[index];
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.table.find(key);
     if (it == shard.table.end()) {
-        ++misses_;
+        recordMiss(index);
         return false;
     }
-    ++hits_;
-    values = it->second;
+    recordHit(index, it->second.fromDisk);
+    values = it->second.values;
     return true;
 }
 
@@ -141,12 +206,34 @@ EvaluationCache::store(const std::string &key,
     fatalIf(key.find('|') != std::string::npos ||
                 key.find('\n') != std::string::npos,
             "evaluation-cache key contains reserved characters");
-    auto &shard = shardFor(key);
+    size_t index = shardIndexOf(key);
+    auto &shard = shards_[index];
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
-        shard.table[key] = std::move(values);
+        // An overwrite counts as this run's work from here on.
+        shard.table[key] = Entry{std::move(values), false};
     }
+    ++stores_;
+    if (support::metricsEnabled())
+        shardMetricCounter("stores", index).add(1);
     dirty_.store(true, std::memory_order_release);
+}
+
+EvaluationCache::Stats
+EvaluationCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load();
+    s.misses = misses_.load();
+    s.diskHits = diskHits_.load();
+    s.memoryHits = s.hits - s.diskHits;
+    s.computed = computed_.load();
+    s.stores = stores_.load();
+    s.flushes = flushes_.load();
+    s.saves = saves_.load();
+    s.loadedEntries = loadedEntries_;
+    s.quarantinedEntries = quarantinedEntries_;
+    return s;
 }
 
 size_t
@@ -190,8 +277,8 @@ EvaluationCache::saveLocked() const
             entries;
         for (const auto &shard : shards_) {
             std::lock_guard<std::mutex> shardLock(shard.mutex);
-            entries.insert(entries.end(), shard.table.begin(),
-                           shard.table.end());
+            for (const auto &[key, entry] : shard.table)
+                entries.emplace_back(key, entry.values);
         }
         std::sort(entries.begin(), entries.end(),
                   [](const auto &a, const auto &b) {
@@ -239,6 +326,8 @@ EvaluationCache::saveLocked() const
             dirty_.store(true, std::memory_order_release);
             return;
         }
+        ++saves_;
+        PICO_METRIC_COUNT("evalcache.saves", 1);
     } catch (...) {
         dirty_.store(true, std::memory_order_release);
         throw;
@@ -255,8 +344,11 @@ EvaluationCache::flush()
     // under the same mutex so a concurrent flush that already
     // committed the batch makes this one a no-op.
     std::lock_guard<std::mutex> lock(flushMutex_);
-    if (dirty_.load(std::memory_order_acquire))
+    if (dirty_.load(std::memory_order_acquire)) {
+        ++flushes_;
+        PICO_METRIC_COUNT("evalcache.flushes", 1);
         saveLocked();
+    }
 }
 
 void
@@ -292,9 +384,11 @@ EvaluationCache::load()
             continue;
         }
         auto key = line.substr(0, bar);
-        shardFor(key).table[key] = std::move(values);
+        shardFor(key).table[key] = Entry{std::move(values), true};
         ++loadedEntries_;
     }
+    PICO_METRIC_COUNT("evalcache.loaded", loadedEntries_);
+    PICO_METRIC_COUNT("evalcache.quarantined", quarantinedEntries_);
     if (quarantinedEntries_ > 0)
         warn("evaluation cache '", path_, "': salvaged ",
              loadedEntries_, " entr(ies), quarantined ",

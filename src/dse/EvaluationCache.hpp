@@ -37,6 +37,13 @@
  *    many threads filled the cache or in what order;
  *  - the atomic tmp+fsync+rename protocol is unchanged, preserving
  *    the crash-safety guarantees above.
+ *
+ * The cache is *observable*: stats() snapshots every counter,
+ * distinguishing hits on entries loaded from disk (work a previous
+ * run paid for — what a resume actually saved) from hits on entries
+ * computed this run, and when the metrics registry is enabled each
+ * shard reports its own hit/miss/store counts
+ * (evalcache.shardNN.*).
  */
 
 #ifndef PICO_DSE_EVALUATION_CACHE_HPP
@@ -109,6 +116,36 @@ class EvaluationCache
      */
     void flush();
 
+    /**
+     * One coherent view of every cache counter. The disk/memory hit
+     * split is what makes resume runs reportable: diskHits counts
+     * lookups served by entries salvaged from the database file —
+     * work a previous run paid for — while memoryHits counts entries
+     * computed (or stored) during this run.
+     */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        /** Hits on entries loaded from the database file. */
+        uint64_t diskHits = 0;
+        /** Hits on entries first stored during this run. */
+        uint64_t memoryHits = 0;
+        /** Compute callbacks actually run by getOrCompute(). */
+        uint64_t computed = 0;
+        /** store() calls (explicit plus getOrCompute misses). */
+        uint64_t stores = 0;
+        /** flush() calls that found dirty entries to write. */
+        uint64_t flushes = 0;
+        /** Completed save protocols (checkpoints + final). */
+        uint64_t saves = 0;
+        uint64_t loadedEntries = 0;
+        uint64_t quarantinedEntries = 0;
+    };
+
+    /** Snapshot every counter at once. */
+    Stats stats() const;
+
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
     size_t size() const;
@@ -121,15 +158,29 @@ class EvaluationCache
     bool dirty() const { return dirty_.load(); }
 
   private:
+    /** One table entry; fromDisk marks entries the loader salvaged
+     *  (persisted bytes carry only the values, so the database
+     *  format is unchanged). */
+    struct Entry
+    {
+        std::vector<double> values;
+        bool fromDisk = false;
+    };
+
     /** One lock-striped slice of the table. */
     struct Shard
     {
         mutable std::mutex mutex;
-        std::unordered_map<std::string, std::vector<double>> table;
+        std::unordered_map<std::string, Entry> table;
     };
 
+    size_t shardIndexOf(const std::string &key) const;
     Shard &shardFor(const std::string &key);
     const Shard &shardFor(const std::string &key) const;
+
+    /** Count one hit (per-shard metrics + disk/memory split). */
+    void recordHit(size_t shard_index, bool from_disk) const;
+    void recordMiss(size_t shard_index) const;
 
     void load();
     /** save() body; caller must hold flushMutex_. */
@@ -141,6 +192,11 @@ class EvaluationCache
     mutable std::mutex flushMutex_;
     mutable std::atomic<uint64_t> hits_{0};
     mutable std::atomic<uint64_t> misses_{0};
+    mutable std::atomic<uint64_t> diskHits_{0};
+    mutable std::atomic<uint64_t> computed_{0};
+    mutable std::atomic<uint64_t> stores_{0};
+    mutable std::atomic<uint64_t> flushes_{0};
+    mutable std::atomic<uint64_t> saves_{0};
     uint64_t loadedEntries_ = 0;
     uint64_t quarantinedEntries_ = 0;
     mutable std::atomic<bool> dirty_{false};

@@ -1,6 +1,7 @@
 #include "dse/Evaluators.hpp"
 
 #include "support/Logging.hpp"
+#include "support/TraceEvents.hpp"
 
 namespace pico::dse
 {
@@ -34,9 +35,19 @@ SimBank::simulate(const trace::TraceBuffer &buffer,
 {
     // One task per line size; each task owns exactly one simulator,
     // so no merge step is needed and the result cannot depend on
-    // the schedule.
+    // the schedule. Each sweep reports its own span and wall time,
+    // keyed by line size — the unit the paper's efficiency claim is
+    // stated in (simulations = distinct line sizes, not configs).
     support::parallelFor(sims_.size(), pool, [&](size_t i) {
+        std::string line = std::to_string(sims_[i].lineBytes());
+        support::TimedSpan span("sweep.line" + line, "sweep");
         sims_[i].replay(buffer.accesses());
+        PICO_METRIC_COUNT("sweep.runs", 1);
+        if (support::metricsEnabled()) {
+            support::metrics()
+                .counter("sweep.line" + line + ".accesses")
+                .add(buffer.accesses().size());
+        }
     });
 }
 
@@ -82,6 +93,7 @@ void
 IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace,
                           support::ThreadPool *pool)
 {
+    support::TimedSpan span("evaluate.icache", "evaluate");
     // Capture the stream once; the trace modeler is inherently
     // serial (granule state) and runs during capture, while the
     // per-line-size simulator sweeps replay the buffer in parallel.
@@ -93,6 +105,8 @@ IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace,
         buffer(a);
         modeler.access(a);
     });
+    PICO_METRIC_COUNT("evaluate.captured.accesses",
+                      buffer.accesses().size());
     bank_->simulate(buffer, pool);
     params_ = modeler.params();
     evaluated_ = true;
@@ -136,11 +150,14 @@ void
 DcacheEvaluator::evaluate(const TraceSource &ref_data_trace,
                           support::ThreadPool *pool)
 {
+    support::TimedSpan span("evaluate.dcache", "evaluate");
     trace::TraceBuffer buffer;
     ref_data_trace([&buffer](const trace::Access &a) {
         fatalIf(a.isInstr, "instruction reference in a data trace");
         buffer(a);
     });
+    PICO_METRIC_COUNT("evaluate.captured.accesses",
+                      buffer.accesses().size());
     bank_->simulate(buffer, pool);
     evaluated_ = true;
 }
@@ -179,12 +196,15 @@ void
 UcacheEvaluator::evaluate(const TraceSource &ref_unified_trace,
                           support::ThreadPool *pool)
 {
+    support::TimedSpan span("evaluate.ucache", "evaluate");
     trace::TraceBuffer buffer;
     core::UtraceModeler modeler(granuleRefs_);
     ref_unified_trace([&buffer, &modeler](const trace::Access &a) {
         buffer(a);
         modeler.access(a);
     });
+    PICO_METRIC_COUNT("evaluate.captured.accesses",
+                      buffer.accesses().size());
     bank_->simulate(buffer, pool);
     iParams_ = modeler.instrParams();
     dParams_ = modeler.dataParams();

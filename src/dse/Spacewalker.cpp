@@ -6,6 +6,7 @@
 #include "compiler/Scheduler.hpp"
 #include "support/FaultInjection.hpp"
 #include "support/Logging.hpp"
+#include "support/TraceEvents.hpp"
 #include "trace/TraceGenerator.hpp"
 #include "workloads/Toolchain.hpp"
 
@@ -46,6 +47,7 @@ ParetoSet
 MemoryWalker::pareto(double dilation, uint32_t dcache_ports,
                      FailureLog *failures) const
 {
+    support::TimedSpan span("memory.pareto", "walk");
     // Subsystem Pareto fronts first: with additive cost and additive
     // stall time, any hierarchy containing a dominated component is
     // itself dominated, so the product of the subsystem fronts
@@ -230,21 +232,34 @@ Spacewalker::explore(const ir::Program &prog)
     using machine::MachineDesc;
 
     const size_t n = machineNames_.size();
+    support::TimedSpan exploreSpan("walk.explore", "walk");
+    support::TraceRecorder::instance().nameThisThread("walk-main");
     support::ThreadPool pool(
         support::ThreadPool::resolveJobs(options_.jobs) - 1);
+    if (support::metricsEnabled()) {
+        support::metrics()
+            .gauge("walk.jobs")
+            .set(support::ThreadPool::resolveJobs(options_.jobs));
+        support::metrics().gauge("walk.designs").set(
+            static_cast<double>(n));
+    }
 
     // Phase 1 (serial, cheap): machine descriptions. A bad name is
     // remembered and surfaces from its design's own evaluation so
     // per-design isolation and failure ordering stay intact.
     std::vector<DesignPlan> plans(n);
-    for (size_t i = 0; i < n; ++i) {
-        try {
-            plans[i].mdes = MachineDesc::fromName(machineNames_[i]);
-            plans[i].predicated = plans[i].mdes->predRegs > 0;
-        } catch (const PanicError &) {
-            throw; // internal bugs always propagate
-        } catch (const std::exception &) {
-            plans[i].descError = std::current_exception();
+    {
+        support::TimedSpan phase("walk.phase1.plan", "phase");
+        for (size_t i = 0; i < n; ++i) {
+            try {
+                plans[i].mdes =
+                    MachineDesc::fromName(machineNames_[i]);
+                plans[i].predicated = plans[i].mdes->predRegs > 0;
+            } catch (const PanicError &) {
+                throw; // internal bugs always propagate
+            } catch (const std::exception &) {
+                plans[i].descError = std::current_exception();
+            }
         }
     }
 
@@ -255,6 +270,8 @@ Spacewalker::explore(const ir::Program &prog)
     // combination. The reference trace is generated once and its
     // per-line-size Cheetah sweeps run on the pool.
     std::map<bool, std::unique_ptr<ClassContext>> classes;
+    std::optional<support::TimedSpan> phase;
+    phase.emplace("walk.phase2.reference", "phase");
     for (const auto &plan : plans) {
         if (!plan.mdes || classes.count(plan.predicated))
             continue;
@@ -293,6 +310,7 @@ Spacewalker::explore(const ir::Program &prog)
         }
         classes.emplace(plan.predicated, std::move(ctx));
     }
+    phase.reset();
 
     // Phase 3 (parallel): evaluate every design. Each task writes
     // only its own outcome slot; nothing here touches the shared
@@ -303,10 +321,16 @@ Spacewalker::explore(const ir::Program &prog)
     // contributes no points at all.
     std::vector<DesignOutcome> outcomes(n);
     std::atomic<uint64_t> completed{0};
+    phase.emplace("walk.phase3.evaluate", "phase");
     support::parallelFor(n, &pool, [&](size_t i) {
         const auto &name = machineNames_[i];
         const auto &plan = plans[i];
         auto &out = outcomes[i];
+        // Spans are named per design but share one wall-time
+        // histogram, so the trace shows which worker ran which
+        // machine while the report keeps a single distribution.
+        support::TimedSpan designSpan("design:" + name, "design",
+                                      "walk.design.ns");
         const char *stage = "machine-description";
         try {
             support::faultPoint("Spacewalker::evaluateDesign");
@@ -365,11 +389,13 @@ Spacewalker::explore(const ir::Program &prog)
                 }
             }
             out.ok = true;
+            PICO_METRIC_COUNT("walk.designs.ok", 1);
         } catch (const PanicError &) {
             throw; // internal bugs always propagate
         } catch (const std::exception &e) {
             if (options_.haltOnFailure)
                 throw;
+            PICO_METRIC_COUNT("walk.designs.failed", 1);
             out.failures.record(name, stage, e.what());
             return;
         }
@@ -382,15 +408,19 @@ Spacewalker::explore(const ir::Program &prog)
         uint64_t done =
             completed.fetch_add(1, std::memory_order_acq_rel) + 1;
         if (options_.checkpointEvery != 0 &&
-            done % options_.checkpointEvery == 0)
+            done % options_.checkpointEvery == 0) {
+            PICO_METRIC_COUNT("walk.checkpoints", 1);
             cache_.flush();
+        }
     });
+    phase.reset();
 
     // Phase 4 (serial): merge outcomes in design order. This is the
     // only writer of the shared result, so Pareto insertion order,
     // FailureLog ordering and evaluatedDesigns are identical to the
     // serial walk no matter how phase 3 was scheduled.
     ExplorationResult result;
+    phase.emplace("walk.phase4.merge", "phase");
     for (size_t i = 0; i < n; ++i) {
         auto &out = outcomes[i];
         result.failures.append(out.failures);
@@ -405,6 +435,7 @@ Spacewalker::explore(const ir::Program &prog)
         ++result.evaluatedDesigns;
     }
     cache_.flush();
+    phase.reset();
 
     if (!result.failures.empty())
         warn("exploration partial: ", result.failures.size(),

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "support/Logging.hpp"
+#include "support/Metrics.hpp"
 #include "support/Random.hpp"
 
 namespace pico::support
@@ -62,6 +63,7 @@ FaultInjector::shouldFail(const std::string &site)
         armedCount_.fetch_sub(1, std::memory_order_release);
         return false;
     }
+    PICO_METRIC_COUNT("fault.trips", 1);
     return true;
 }
 

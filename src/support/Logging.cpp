@@ -1,20 +1,85 @@
 #include "support/Logging.hpp"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+
+#include "support/Metrics.hpp"
 
 namespace pico
 {
+
+namespace
+{
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("PICOEVAL_LOG_LEVEL");
+    if (env == nullptr || *env == '\0')
+        return LogLevel::Info;
+    std::string v(env);
+    for (auto &c : v)
+        c = static_cast<char>(std::tolower(c));
+    if (v == "debug")
+        return LogLevel::Debug;
+    if (v == "info")
+        return LogLevel::Info;
+    if (v == "warn" || v == "warning")
+        return LogLevel::Warn;
+    if (v == "error")
+        return LogLevel::Error;
+    if (v == "silent" || v == "off" || v == "none")
+        return LogLevel::Silent;
+    // Misspelled levels must not silently hide warnings.
+    std::cerr << "warn: unknown PICOEVAL_LOG_LEVEL '" << v
+              << "', using 'info'\n";
+    return LogLevel::Info;
+}
+
+std::atomic<int> &
+levelFlag()
+{
+    static std::atomic<int> level{static_cast<int>(levelFromEnv())};
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelFlag().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelFlag().store(static_cast<int>(level),
+                      std::memory_order_relaxed);
+}
+
 namespace detail
 {
 
 void
-emitMessage(const char *label, const std::string &msg)
+emitMessage(LogLevel level, const char *label, const std::string &msg)
 {
+    if (logLevel() > level)
+        return;
     // One formatted write per message: parallel walks report from
     // several threads, and piecewise inserts would interleave.
+    uint64_t ns = support::monotonicNowNs();
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[%9.3f] ",
+                  static_cast<double>(ns) / 1e9);
     std::string line;
-    line.reserve(msg.size() + 16);
-    line.append(label).append(": ").append(msg).push_back('\n');
+    line.reserve(msg.size() + 32);
+    line.append(stamp).append(label).append(": ").append(msg).push_back(
+        '\n');
     std::cerr << line << std::flush;
 }
 

@@ -6,6 +6,17 @@
  * violations (a bug in this library), fatal() is for conditions caused
  * by the caller (bad configuration, invalid arguments), and
  * warn()/inform() provide non-fatal status output.
+ *
+ * Every line carries a monotonic timestamp (seconds since the first
+ * log/metric event of the process) and a severity tag:
+ *
+ *     [   12.345] warn: trace file truncated
+ *
+ * A minimum severity filters output — parallel walks can run quiet.
+ * It defaults to Info, is read once from PICOEVAL_LOG_LEVEL
+ * (debug|info|warn|error|silent) and can be changed at runtime with
+ * setLogLevel(). panic()/fatal() always throw; the filter only
+ * decides whether their message is also printed.
  */
 
 #ifndef PICO_SUPPORT_LOGGING_HPP
@@ -17,6 +28,23 @@
 
 namespace pico
 {
+
+/** Message severities, in increasing order. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    /** Suppresses everything, including panic/fatal messages. */
+    Silent = 4,
+};
+
+/** Current minimum severity printed. */
+LogLevel logLevel();
+
+/** Override the minimum severity (wins over PICOEVAL_LOG_LEVEL). */
+void setLogLevel(LogLevel level);
 
 /** Exception thrown by panic(); signals an internal library bug. */
 class PanicError : public std::logic_error
@@ -45,8 +73,12 @@ concat(Args &&...args)
     return oss.str();
 }
 
-/** Emit a labelled message on stderr. */
-void emitMessage(const char *label, const std::string &msg);
+/**
+ * Emit a labelled message on stderr when `level` passes the minimum
+ * severity, prefixed with the monotonic timestamp.
+ */
+void emitMessage(LogLevel level, const char *label,
+                 const std::string &msg);
 
 } // namespace detail
 
@@ -59,7 +91,7 @@ template <typename... Args>
 panic(Args &&...args)
 {
     std::string msg = detail::concat(std::forward<Args>(args)...);
-    detail::emitMessage("panic", msg);
+    detail::emitMessage(LogLevel::Error, "panic", msg);
     throw PanicError(msg);
 }
 
@@ -72,7 +104,7 @@ template <typename... Args>
 fatal(Args &&...args)
 {
     std::string msg = detail::concat(std::forward<Args>(args)...);
-    detail::emitMessage("fatal", msg);
+    detail::emitMessage(LogLevel::Error, "fatal", msg);
     throw FatalError(msg);
 }
 
@@ -81,7 +113,10 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    detail::emitMessage("warn", detail::concat(std::forward<Args>(args)...));
+    if (logLevel() > LogLevel::Warn)
+        return;
+    detail::emitMessage(LogLevel::Warn, "warn",
+                        detail::concat(std::forward<Args>(args)...));
 }
 
 /** Provide a normal, informative status message. */
@@ -89,7 +124,21 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
-    detail::emitMessage("info", detail::concat(std::forward<Args>(args)...));
+    if (logLevel() > LogLevel::Info)
+        return;
+    detail::emitMessage(LogLevel::Info, "info",
+                        detail::concat(std::forward<Args>(args)...));
+}
+
+/** Diagnostic chatter, hidden unless PICOEVAL_LOG_LEVEL=debug. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() > LogLevel::Debug)
+        return;
+    detail::emitMessage(LogLevel::Debug, "debug",
+                        detail::concat(std::forward<Args>(args)...));
 }
 
 /** panic() unless the given condition holds. */

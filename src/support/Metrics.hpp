@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Thread-safe metrics registry: counters, gauges, and log2-bucketed
+ * histograms for the exploration pipeline.
+ *
+ * The paper's claim is *efficiency*, so the library must be able to
+ * measure itself without distorting what it measures. The registry is
+ * built around three rules:
+ *
+ *  - *Lock-free hot paths.* Counter and histogram updates land in a
+ *    per-thread shard (a fixed array of relaxed atomics, allocated
+ *    once per thread); no mutex, no contended cache line. Shards are
+ *    merged only when a snapshot is taken.
+ *
+ *  - *Zero cost when disabled.* Compiling with
+ *    -DPICOEVAL_DISABLE_METRICS turns every update into a no-op; at
+ *    runtime the default is off and a single relaxed atomic load
+ *    guards each update (enable with setMetricsEnabled(true) or
+ *    PICOEVAL_METRICS=1 in the environment).
+ *
+ *  - *Outside the result path.* Metrics observe the pipeline, never
+ *    feed it: enabling or disabling instrumentation cannot change a
+ *    Pareto set, a failure ordering, or a cache-database byte
+ *    (enforced by tests/parallel_determinism_test.cpp).
+ *
+ * Snapshots are deterministic *documents*: names are sorted and the
+ * JSON bytes are a pure function of the metric values, so two
+ * snapshots of equal state are byte-identical.
+ */
+
+#ifndef PICO_SUPPORT_METRICS_HPP
+#define PICO_SUPPORT_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/** Compile-time kill switch: define PICOEVAL_DISABLE_METRICS to
+ *  compile every metric update out of the hot paths entirely. */
+#if defined(PICOEVAL_DISABLE_METRICS)
+#define PICOEVAL_METRICS 0
+#else
+#define PICOEVAL_METRICS 1
+#endif
+
+namespace pico::support
+{
+
+namespace detail
+{
+/** Runtime master switch (relaxed loads on the hot path). */
+extern std::atomic<bool> metricsOn;
+} // namespace detail
+
+/** True when metric updates are recorded (runtime switch). */
+inline bool
+metricsEnabled()
+{
+#if PICOEVAL_METRICS
+    return detail::metricsOn.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+/** Flip the runtime switch (overrides PICOEVAL_METRICS env). */
+void setMetricsEnabled(bool on);
+
+/**
+ * Nanoseconds since the process-wide monotonic epoch (the first call
+ * in the process). Shared by metric timers, trace-event timestamps
+ * and log lines so all three tell the same clock.
+ */
+uint64_t monotonicNowNs();
+
+/** Escape a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+/** Monotonically increasing event count (sharded per thread). */
+class Counter
+{
+  public:
+    /** Add n to the counter (lock-free; no-op while disabled). */
+    void add(uint64_t n = 1);
+
+    /** Convenience: add(1). */
+    void increment() { add(1); }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(size_t slot) : slot_(slot) {}
+    const size_t slot_;
+};
+
+/** Last-written value (a single global atomic; low-frequency). */
+class Gauge
+{
+  public:
+    void set(double v);
+    double value() const;
+
+  private:
+    friend class MetricsRegistry;
+    Gauge() = default;
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed log2-bucketed histogram. A value v lands in bucket
+ * bit_width(v): bucket 0 holds zeros, bucket k >= 1 holds values in
+ * [2^(k-1), 2^k), and the last bucket absorbs everything larger.
+ * Count and sum are tracked exactly, so means are not quantized.
+ */
+class Histogram
+{
+  public:
+    /** Buckets per histogram (indices 0..bucketCount-1). */
+    static constexpr size_t bucketCount = 64;
+
+    /** Record one value (lock-free; no-op while disabled). */
+    void observe(uint64_t value);
+
+    /** Bucket index a value lands in. */
+    static size_t bucketOf(uint64_t value);
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(size_t slot) : slot_(slot) {}
+    /** Slot layout: [count, sum, buckets[0..bucketCount-1]]. */
+    static constexpr size_t slotWords = 2 + bucketCount;
+    const size_t slot_;
+};
+
+/** Merged value of one histogram at snapshot time. */
+struct HistogramValue
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, Histogram::bucketCount> buckets{};
+
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(count);
+    }
+};
+
+/**
+ * Point-in-time merge of every registered metric. std::map keys give
+ * sorted, stable iteration; writeJson() is byte-deterministic for
+ * equal values.
+ */
+struct MetricsSnapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramValue> histograms;
+
+    /** Deterministic JSON object: {"counters":{...},...}. */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+};
+
+/**
+ * Process-global registry. Handles returned by counter()/gauge()/
+ * histogram() are stable for the life of the process; registering the
+ * same name twice returns the same handle. Updates through handles
+ * are lock-free; registration and snapshotting take a mutex.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Per-thread slot capacity; registration fails beyond this. */
+    static constexpr size_t slotCapacity = 8192;
+
+    static MetricsRegistry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Merge all thread shards into one deterministic snapshot. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Zero every counter/histogram/gauge value (registrations and
+     * handles stay valid). For tests and repeated measurement runs.
+     */
+    void resetValues();
+
+  private:
+    friend class Counter;
+    friend class Histogram;
+
+    MetricsRegistry() = default;
+
+    /** One thread's accumulation array (relaxed atomics only). */
+    struct Shard
+    {
+        std::array<std::atomic<uint64_t>, slotCapacity> slots{};
+    };
+
+    /** The calling thread's shard, registered on first use. */
+    Shard &localShard();
+
+    size_t allocateSlots(size_t words, const std::string &name);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    size_t nextSlot_ = 0;
+    /** Owned for the life of the process; threads may die, their
+     *  totals persist. */
+    mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/** Shorthand for MetricsRegistry::instance(). */
+inline MetricsRegistry &
+metrics()
+{
+    return MetricsRegistry::instance();
+}
+
+/**
+ * RAII wall-clock timer: observes the elapsed nanoseconds into the
+ * named histogram on destruction. Costs two clock reads when metrics
+ * are enabled and nothing (beyond the enabled check) when not.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &hist)
+        : hist_(&hist),
+          startNs_(metricsEnabled() ? monotonicNowNs() : 0)
+    {}
+
+    ~ScopedTimer()
+    {
+        if (startNs_ != 0 && metricsEnabled())
+            hist_->observe(monotonicNowNs() - startNs_);
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram *hist_;
+    uint64_t startNs_;
+};
+
+} // namespace pico::support
+
+/**
+ * Call-site macros: compile to nothing under
+ * -DPICOEVAL_DISABLE_METRICS. The handle lookup is a function-local
+ * static, so each site pays the registry mutex exactly once — which
+ * means `name` MUST be a constant at each call site. For dynamic
+ * names, call metrics().counter(name).add(n) directly.
+ */
+#if PICOEVAL_METRICS
+#define PICO_METRIC_COUNT(name, n)                                    \
+    do {                                                              \
+        if (::pico::support::metricsEnabled()) {                      \
+            static auto &pico_metric_ctr_ =                           \
+                ::pico::support::metrics().counter(name);             \
+            pico_metric_ctr_.add(n);                                  \
+        }                                                             \
+    } while (0)
+#define PICO_METRIC_OBSERVE(name, v)                                  \
+    do {                                                              \
+        if (::pico::support::metricsEnabled()) {                      \
+            static auto &pico_metric_hist_ =                          \
+                ::pico::support::metrics().histogram(name);           \
+            pico_metric_hist_.observe(v);                             \
+        }                                                             \
+    } while (0)
+#else
+#define PICO_METRIC_COUNT(name, n) ((void)0)
+#define PICO_METRIC_OBSERVE(name, v) ((void)0)
+#endif
+
+#endif // PICO_SUPPORT_METRICS_HPP

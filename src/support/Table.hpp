@@ -40,6 +40,14 @@ class TextTable
 
     size_t rows() const { return rows_.size(); }
 
+    /** Read access for machine-readable exports (bench JSON). */
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rowData() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "support/Logging.hpp"
+#include "support/TraceEvents.hpp"
 
 namespace pico::support
 {
@@ -13,8 +14,16 @@ namespace pico::support
 ThreadPool::ThreadPool(unsigned workers)
 {
     threads_.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i < workers; ++i) {
+        threads_.emplace_back([this, i] {
+            // Workers appear as their own named tracks in exported
+            // chrome traces, so per-design spans land on the thread
+            // that actually ran them.
+            TraceRecorder::instance().nameThisThread(
+                "pool-worker-" + std::to_string(i));
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -55,6 +64,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        PICO_METRIC_COUNT("threadpool.tasks", 1);
         task();
     }
 }

@@ -1,0 +1,201 @@
+#include "support/TraceEvents.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "support/Logging.hpp"
+
+namespace pico::support
+{
+
+namespace detail
+{
+
+std::atomic<bool> traceOn{[] {
+    const char *env = std::getenv("PICOEVAL_TRACE");
+    return env != nullptr && *env != '\0' &&
+           std::string(env) != "0";
+}()};
+
+} // namespace detail
+
+void
+setTraceEnabled(bool on)
+{
+    detail::traceOn.store(on, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+/** Chrome expects microsecond timestamps; keep ns precision. */
+void
+writeMicros(std::ostream &os, uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    os << buf;
+}
+
+} // namespace
+
+TraceRecorder &
+TraceRecorder::instance()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+TraceRecorder::ThreadBuf &
+TraceRecorder::localBuf()
+{
+    static thread_local ThreadBuf *tlsTraceBuf = nullptr;
+    if (tlsTraceBuf == nullptr) {
+        auto buf = std::make_unique<ThreadBuf>();
+        tlsTraceBuf = buf.get();
+        std::lock_guard<std::mutex> lock(mutex_);
+        buf->tid = static_cast<uint32_t>(bufs_.size());
+        buf->name = "thread-" + std::to_string(buf->tid);
+        bufs_.push_back(std::move(buf));
+    }
+    return *tlsTraceBuf;
+}
+
+void
+TraceRecorder::nameThisThread(const std::string &name)
+{
+    auto &buf = localBuf();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.name = name;
+}
+
+void
+TraceRecorder::complete(const std::string &name, const char *category,
+                        uint64_t start_ns, uint64_t duration_ns)
+{
+    if (!traceEnabled())
+        return;
+    auto &buf = localBuf();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back(
+        Event{name, category, 'X', start_ns, duration_ns});
+}
+
+void
+TraceRecorder::instant(const std::string &name, const char *category)
+{
+    if (!traceEnabled())
+        return;
+    auto &buf = localBuf();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back(
+        Event{name, category, 'i', monotonicNowNs(), 0});
+}
+
+bool
+TraceRecorder::writeJson(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot write trace-event file '", path, "'");
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&first, &out] {
+        if (!first)
+            out << ",";
+        out << "\n";
+        first = false;
+    };
+    for (const auto &buf : bufs_) {
+        std::lock_guard<std::mutex> bufLock(buf->mutex);
+        sep();
+        out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << buf->tid
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+            << jsonEscape(buf->name) << "\"}}";
+        for (const auto &e : buf->events) {
+            sep();
+            out << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":"
+                << buf->tid << ",\"name\":\"" << jsonEscape(e.name)
+                << "\",\"cat\":\"" << jsonEscape(e.category)
+                << "\",\"ts\":";
+            writeMicros(out, e.tsNs);
+            if (e.phase == 'X') {
+                out << ",\"dur\":";
+                writeMicros(out, e.durNs);
+            } else {
+                out << ",\"s\":\"t\"";
+            }
+            out << "}";
+        }
+    }
+    out << "\n]}\n";
+    out.flush();
+    if (!out) {
+        warn("writing trace-event file '", path, "' failed");
+        return false;
+    }
+    return true;
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &buf : bufs_) {
+        std::lock_guard<std::mutex> bufLock(buf->mutex);
+        buf->events.clear();
+    }
+}
+
+size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t total = 0;
+    for (const auto &buf : bufs_) {
+        std::lock_guard<std::mutex> bufLock(buf->mutex);
+        total += buf->events.size();
+    }
+    return total;
+}
+
+// --- TimedSpan ---------------------------------------------------------
+
+TimedSpan::TimedSpan(std::string name, const char *category,
+                     std::string metric)
+    : name_(std::move(name)), metric_(std::move(metric)),
+      category_(category)
+{
+#if PICOEVAL_METRICS
+    active_ = metricsEnabled() || traceEnabled();
+    if (active_)
+        startNs_ = monotonicNowNs();
+#endif
+}
+
+TimedSpan::~TimedSpan()
+{
+#if PICOEVAL_METRICS
+    if (!active_)
+        return;
+    uint64_t dur = monotonicNowNs() - startNs_;
+    if (metricsEnabled()) {
+        metrics()
+            .histogram(metric_.empty() ? name_ + ".ns" : metric_)
+            .observe(dur);
+    }
+    if (traceEnabled())
+        TraceRecorder::instance().complete(name_, category_,
+                                           startNs_, dur);
+#endif
+}
+
+} // namespace pico::support

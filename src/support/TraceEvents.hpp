@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Chrome trace-event (chrome://tracing / Perfetto) span recorder.
+ *
+ * Records complete ("ph":"X") spans and instant events into
+ * per-thread buffers and serializes them as the Trace Event Format
+ * JSON that chrome://tracing, Perfetto and speedscope all load. One
+ * span = one named interval on the recording thread's track, so a
+ * parallel walk renders as stacked per-design spans across the
+ * ThreadPool's worker tracks — the thread-utilization picture the
+ * human tables never showed.
+ *
+ * Rules mirror the metrics registry (support/Metrics.hpp):
+ *
+ *  - appends touch only the calling thread's buffer (one uncontended
+ *    mutex acquisition), so recording does not serialize the walk;
+ *  - disabled (the default) costs one relaxed atomic load per site;
+ *    -DPICOEVAL_DISABLE_METRICS compiles TimedSpan bodies out;
+ *  - recording never feeds results back into the pipeline, so spans
+ *    cannot perturb the bit-identical determinism contract.
+ *
+ * Timestamps come from support::monotonicNowNs(), the same epoch the
+ * metrics timers and log lines use.
+ */
+
+#ifndef PICO_SUPPORT_TRACE_EVENTS_HPP
+#define PICO_SUPPORT_TRACE_EVENTS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/Metrics.hpp"
+
+namespace pico::support
+{
+
+namespace detail
+{
+/** Runtime master switch for span recording. */
+extern std::atomic<bool> traceOn;
+} // namespace detail
+
+/** True when spans are recorded (runtime switch). */
+inline bool
+traceEnabled()
+{
+#if PICOEVAL_METRICS
+    return detail::traceOn.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+/** Flip the runtime switch (overrides PICOEVAL_TRACE env). */
+void setTraceEnabled(bool on);
+
+/** Process-global recorder of trace events. */
+class TraceRecorder
+{
+  public:
+    static TraceRecorder &instance();
+
+    /**
+     * Name the calling thread's track in the exported trace (e.g.
+     * "pool-worker-3"). Safe to call whether or not recording is
+     * enabled; the last name set wins.
+     */
+    void nameThisThread(const std::string &name);
+
+    /** Record one complete span on the calling thread's track. */
+    void complete(const std::string &name, const char *category,
+                  uint64_t start_ns, uint64_t duration_ns);
+
+    /** Record an instant event on the calling thread's track. */
+    void instant(const std::string &name, const char *category);
+
+    /**
+     * Serialize every buffered event as Trace Event Format JSON.
+     * @return false (after a warn()) when the file cannot be written
+     */
+    bool writeJson(const std::string &path) const;
+
+    /** Drop all buffered events (thread tracks are kept). */
+    void clear();
+
+    /** Buffered events across all threads. */
+    size_t eventCount() const;
+
+  private:
+    TraceRecorder() = default;
+
+    struct Event
+    {
+        std::string name;
+        const char *category;
+        char phase; // 'X' complete, 'i' instant
+        uint64_t tsNs;
+        uint64_t durNs;
+    };
+
+    /** One thread's event buffer and track identity. */
+    struct ThreadBuf
+    {
+        uint32_t tid = 0;
+        std::string name;
+        /** Guards events/name: appends come from the owning thread,
+         *  reads from writeJson()/clear() on any thread. */
+        mutable std::mutex mutex;
+        std::vector<Event> events;
+    };
+
+    ThreadBuf &localBuf();
+
+    mutable std::mutex mutex_; ///< guards bufs_ registration
+    mutable std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+/**
+ * RAII scoped span + phase timer: one object at the top of a scope
+ * records a chrome-trace span named `name` (when tracing is on) and
+ * observes the elapsed nanoseconds into histogram `metric` — by
+ * default "<name>.ns" — (when metrics are on). The two switches are
+ * independent; with both off the constructor is two relaxed loads.
+ */
+class TimedSpan
+{
+  public:
+    explicit TimedSpan(std::string name, const char *category = "walk",
+                       std::string metric = "");
+    ~TimedSpan();
+
+    TimedSpan(const TimedSpan &) = delete;
+    TimedSpan &operator=(const TimedSpan &) = delete;
+
+  private:
+    std::string name_;
+    std::string metric_;
+    const char *category_;
+    uint64_t startNs_ = 0;
+    bool active_ = false;
+};
+
+} // namespace pico::support
+
+#endif // PICO_SUPPORT_TRACE_EVENTS_HPP

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/FaultInjection.hpp"
+#include "support/Metrics.hpp"
 
 namespace pico::trace
 {
@@ -80,6 +81,12 @@ TraceFileWriter::close()
          << checksum_ << std::dec << '\n';
     out_.flush();
     fatalIf(!out_, "trace file write failed");
+    // Batched once per file: the write loop stays untouched.
+    auto bytes = out_.tellp();
+    if (bytes > 0)
+        PICO_METRIC_COUNT("tracefile.write.bytes",
+                          static_cast<uint64_t>(bytes));
+    PICO_METRIC_COUNT("tracefile.write.records", count_);
     out_.close();
 }
 
@@ -153,6 +160,11 @@ void
 TraceFileReader::finish()
 {
     finished_ = true;
+    // Batched once per file: nextByte_ already tracks how far the
+    // parse advanced, so the read loop stays untouched.
+    PICO_METRIC_COUNT("tracefile.read.bytes", nextByte_);
+    PICO_METRIC_COUNT("tracefile.read.records",
+                      summary_.recordsRead);
     if (mode_ == TraceReadMode::Lenient && !summary_.clean())
         warn("trace '", path_, "': ", summary_.describe());
 }

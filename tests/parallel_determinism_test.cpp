@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "dse/Spacewalker.hpp"
+#include "support/Metrics.hpp"
+#include "support/TraceEvents.hpp"
 #include "workloads/AppSpec.hpp"
 #include "workloads/Toolchain.hpp"
 
@@ -199,6 +201,29 @@ TEST_F(ParallelDeterminism, HardwareJobsMatchesSerial)
     auto serial = runWalk(*prog_, 1, "jh1");
     auto hw = runWalk(*prog_, 0, "jhw");
     expectIdentical(serial, hw);
+}
+
+TEST_F(ParallelDeterminism, InstrumentationDoesNotPerturbResults)
+{
+    // The observability layer must stay outside the result path:
+    // with metrics and span recording fully enabled, every walk
+    // observable — including the cache database bytes — is still
+    // bit-identical across thread counts, and identical to a walk
+    // with instrumentation disabled.
+    auto plain = runWalk(*prog_, 1, "mi_off");
+
+    support::setMetricsEnabled(true);
+    support::setTraceEnabled(true);
+    auto serial = runWalk(*prog_, 1, "mi1");
+    auto two = runWalk(*prog_, 2, "mi2");
+    auto eight = runWalk(*prog_, 8, "mi8");
+    support::setMetricsEnabled(false);
+    support::setTraceEnabled(false);
+    support::TraceRecorder::instance().clear();
+
+    expectIdentical(plain, serial);
+    expectIdentical(serial, two);
+    expectIdentical(serial, eight);
 }
 
 } // namespace
