@@ -4,12 +4,17 @@
  * the cost-performance-optimal (Pareto) systems, the way an
  * automated embedded-system design flow would.
  *
- * Usage: design_space_walk [app] [--jobs N] [--metrics-out FILE]
- *                          [--trace-out FILE] [--cache FILE]
+ * Usage: design_space_walk [app] [--jobs N] [--verify[=0|1]]
+ *                          [--metrics-out FILE] [--trace-out FILE]
+ *                          [--cache FILE]
  *   app      one of the suite names (default rasta)
  *   --jobs N worker threads for the walk (default 1 = serial,
  *            0 = one per hardware thread); results are identical
  *            for every N
+ *   --verify run the static verification passes (src/verify) at the
+ *            walk's phase boundaries and print the findings;
+ *            --verify=0 forces them off even in Debug builds. The
+ *            walk's results are bit-identical either way.
  *   --metrics-out FILE  enable the metrics registry and write a
  *            machine-readable run report (JSON) after the walk
  *   --trace-out FILE    record spans and write a Chrome trace-event
@@ -60,11 +65,18 @@ main(int argc, char **argv)
 {
     std::string app_name = "rasta";
     unsigned jobs = 1;
+    int verify = -1;
     std::string metrics_out, trace_out, cache_path, value;
     for (int i = 1; i < argc; ++i) {
         if (flagValue(argc, argv, i, "--jobs", value)) {
             jobs = static_cast<unsigned>(
                 std::strtoul(value.c_str(), nullptr, 10));
+        } else if (std::string(argv[i]) == "--verify") {
+            verify = 1;
+        } else if (std::string(argv[i]).rfind("--verify=", 0) == 0) {
+            // `=value` form only: a bare `--verify` must not eat
+            // the app-name argument.
+            verify = std::string(argv[i]).substr(9) == "0" ? 0 : 1;
         } else if (flagValue(argc, argv, i, "--metrics-out",
                              metrics_out) ||
                    flagValue(argc, argv, i, "--trace-out",
@@ -95,6 +107,7 @@ main(int argc, char **argv)
     dse::Spacewalker::Options opts;
     opts.traceBlocks = 40000;
     opts.jobs = jobs;
+    opts.verify = verify;
     opts.evaluationCachePath = cache_path;
     dse::Spacewalker walker(spaces, machines, opts);
 
@@ -157,6 +170,12 @@ main(int argc, char **argv)
                    static_cast<uint64_t>(result.failures.size()));
         report.set("pareto.systems",
                    static_cast<uint64_t>(sorted.size()));
+        report.set("verify.errors",
+                   static_cast<uint64_t>(
+                       result.diagnostics.errorCount()));
+        report.set("verify.warnings",
+                   static_cast<uint64_t>(
+                       result.diagnostics.warningCount()));
         if (report.write(metrics_out))
             std::cout << "run report written to " << metrics_out
                       << "\n";
@@ -167,6 +186,15 @@ main(int argc, char **argv)
                   << " (load in chrome://tracing)\n";
     }
 
+    if (verify == 1) {
+        std::cout << "\nverification: "
+                  << result.diagnostics.errorCount() << " error(s), "
+                  << result.diagnostics.warningCount()
+                  << " warning(s)\n";
+        if (!result.diagnostics.empty())
+            std::cout << result.diagnostics.report();
+    }
+
     // A failing design is skipped and logged, not fatal: report
     // whether this walk was complete.
     if (!result.complete()) {
@@ -174,5 +202,5 @@ main(int argc, char **argv)
                   << result.failures.report();
         return 1;
     }
-    return 0;
+    return result.diagnostics.clean() ? 0 : 1;
 }

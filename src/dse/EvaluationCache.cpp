@@ -165,7 +165,7 @@ EvaluationCache::getOrCompute(
     size_t index = shardIndexOf(key);
     auto &shard = shards_[index];
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        support::MutexLock lock(shard.mutex);
         auto it = shard.table.find(key);
         if (it != shard.table.end()) {
             recordHit(index, it->second.fromDisk);
@@ -188,7 +188,7 @@ EvaluationCache::lookup(const std::string &key,
 {
     size_t index = shardIndexOf(key);
     const auto &shard = shards_[index];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    support::MutexLock lock(shard.mutex);
     auto it = shard.table.find(key);
     if (it == shard.table.end()) {
         recordMiss(index);
@@ -209,7 +209,7 @@ EvaluationCache::store(const std::string &key,
     size_t index = shardIndexOf(key);
     auto &shard = shards_[index];
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        support::MutexLock lock(shard.mutex);
         // An overwrite counts as this run's work from here on.
         shard.table[key] = Entry{std::move(values), false};
     }
@@ -241,7 +241,7 @@ EvaluationCache::size() const
 {
     size_t total = 0;
     for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        support::MutexLock lock(shard.mutex);
         total += shard.table.size();
     }
     return total;
@@ -250,7 +250,7 @@ EvaluationCache::size() const
 void
 EvaluationCache::save() const
 {
-    std::lock_guard<std::mutex> lock(flushMutex_);
+    support::MutexLock lock(flushMutex_);
     saveLocked();
 }
 
@@ -276,7 +276,7 @@ EvaluationCache::saveLocked() const
         std::vector<std::pair<std::string, std::vector<double>>>
             entries;
         for (const auto &shard : shards_) {
-            std::lock_guard<std::mutex> shardLock(shard.mutex);
+            support::MutexLock shardLock(shard.mutex);
             for (const auto &[key, entry] : shard.table)
                 entries.emplace_back(key, entry.values);
         }
@@ -343,7 +343,7 @@ EvaluationCache::flush()
     // path (torn tmp file, double rename). The dirty check happens
     // under the same mutex so a concurrent flush that already
     // committed the batch makes this one a no-op.
-    std::lock_guard<std::mutex> lock(flushMutex_);
+    support::MutexLock lock(flushMutex_);
     if (dirty_.load(std::memory_order_acquire)) {
         ++flushes_;
         PICO_METRIC_COUNT("evalcache.flushes", 1);
@@ -384,7 +384,14 @@ EvaluationCache::load()
             continue;
         }
         auto key = line.substr(0, bar);
-        shardFor(key).table[key] = Entry{std::move(values), true};
+        // load() runs from the constructor, before the cache is
+        // shared — but taking the shard lock keeps the analysis
+        // sound and costs one uncontended acquisition per entry.
+        auto &shard = shardFor(key);
+        {
+            support::MutexLock lock(shard.mutex);
+            shard.table[key] = Entry{std::move(values), true};
+        }
         ++loadedEntries_;
     }
     PICO_METRIC_COUNT("evalcache.loaded", loadedEntries_);

@@ -53,10 +53,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "support/ThreadAnnotations.hpp"
 
 namespace pico::dse
 {
@@ -170,8 +171,9 @@ class EvaluationCache
     /** One lock-striped slice of the table. */
     struct Shard
     {
-        mutable std::mutex mutex;
-        std::unordered_map<std::string, Entry> table;
+        mutable support::Mutex mutex;
+        std::unordered_map<std::string, Entry> table
+            PICO_GUARDED_BY(mutex);
     };
 
     size_t shardIndexOf(const std::string &key) const;
@@ -184,12 +186,12 @@ class EvaluationCache
 
     void load();
     /** save() body; caller must hold flushMutex_. */
-    void saveLocked() const;
+    void saveLocked() const PICO_REQUIRES(flushMutex_);
 
     std::string path_;
     mutable std::array<Shard, shardCount> shards_;
     /** Serializes the write-out protocol (tmp file + rename). */
-    mutable std::mutex flushMutex_;
+    mutable support::Mutex flushMutex_;
     mutable std::atomic<uint64_t> hits_{0};
     mutable std::atomic<uint64_t> misses_{0};
     mutable std::atomic<uint64_t> diskHits_{0};

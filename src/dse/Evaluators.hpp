@@ -139,6 +139,7 @@ class DcacheEvaluator
     ParetoSet pareto(double miss_penalty) const;
 
     const CacheSpace &space() const { return space_; }
+    const SimBank &bank() const { return *bank_; }
     bool evaluated() const { return evaluated_; }
 
   private:
@@ -167,6 +168,7 @@ class UcacheEvaluator
     const core::ComponentParams &instrParams() const { return iParams_; }
     const core::ComponentParams &dataParams() const { return dParams_; }
     const CacheSpace &space() const { return space_; }
+    const SimBank &bank() const { return *bank_; }
     bool evaluated() const { return evaluated_; }
 
   private:

@@ -8,6 +8,9 @@
 #include "support/Logging.hpp"
 #include "support/TraceEvents.hpp"
 #include "trace/TraceGenerator.hpp"
+#include "verify/DesignVerifier.hpp"
+#include "verify/ProgramVerifier.hpp"
+#include "verify/ResultVerifier.hpp"
 #include "workloads/Toolchain.hpp"
 
 namespace pico::dse
@@ -224,6 +227,66 @@ struct DesignOutcome
     FailureLog failures;
 };
 
+/** Resolve Options::verify (-1 auto / 0 off / 1 on). */
+bool
+verificationEnabled(int option)
+{
+    if (option >= 0)
+        return option != 0;
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+/**
+ * Verify one trace-equivalence class after its reference setup: the
+ * profiled program's CFG and flow counts, the reference binary's text
+ * layout, the extracted AHH parameter domains, and — at dilation 1,
+ * where the model returns the simulated counts — that no configuration
+ * reports more misses than the trace had accesses. Read-only: the
+ * class's evaluators and program are never mutated.
+ */
+void
+verifyClassInvariants(bool predicated, const ClassContext &ctx,
+                      const MemorySpaces &spaces,
+                      const Spacewalker::Options &options,
+                      verify::Diagnostics &diags)
+{
+    const std::string cls =
+        predicated ? "class pred" : "class base";
+    const MemoryWalker &mem = *ctx.memory;
+    verify::verifyProgram(ctx.prog, diags);
+    verify::verifyLayout(ctx.prog, ctx.refBuild.bin, diags);
+    verify::verifyAhhParams(mem.icache().params(), options.iGranule,
+                            cls + " instruction trace", diags);
+    verify::verifyAhhParams(mem.ucache().instrParams(),
+                            options.uGranule,
+                            cls + " unified instruction trace",
+                            diags);
+    verify::verifyAhhParams(mem.ucache().dataParams(),
+                            options.uGranule,
+                            cls + " unified data trace", diags);
+    const double iAccesses =
+        static_cast<double>(mem.icache().bank().accesses());
+    const double dAccesses =
+        static_cast<double>(mem.dcache().bank().accesses());
+    const double uAccesses =
+        static_cast<double>(mem.ucache().bank().accesses());
+    for (const auto &cfg : spaces.icache.enumerate())
+        verify::verifyMissCount(mem.icache().misses(cfg, 1.0),
+                                iAccesses,
+                                cls + " I$" + cfg.name(), diags);
+    for (const auto &cfg : spaces.dcache.enumerate())
+        verify::verifyMissCount(mem.dcache().misses(cfg), dAccesses,
+                                cls + " D$" + cfg.name(), diags);
+    for (const auto &cfg : spaces.ucache.enumerate())
+        verify::verifyMissCount(mem.ucache().misses(cfg, 1.0),
+                                uAccesses,
+                                cls + " U$" + cfg.name(), diags);
+}
+
 } // namespace
 
 ExplorationResult
@@ -242,6 +305,21 @@ Spacewalker::explore(const ir::Program &prog)
             .set(support::ThreadPool::resolveJobs(options_.jobs));
         support::metrics().gauge("walk.designs").set(
             static_cast<double>(n));
+    }
+
+    // Verification (optional, read-only) piggybacks on the serial
+    // phases, so findings are ordered deterministically no matter
+    // how many workers the parallel phases use.
+    const bool verifying = verificationEnabled(options_.verify);
+    verify::Diagnostics diags;
+    if (verifying) {
+        support::TimedSpan span("walk.verify.spaces", "verify");
+        verify::verifyCacheSpace(spaces_.icache, "icache space",
+                                 diags);
+        verify::verifyCacheSpace(spaces_.dcache, "dcache space",
+                                 diags);
+        verify::verifyCacheSpace(spaces_.ucache, "ucache space",
+                                 diags);
     }
 
     // Phase 1 (serial, cheap): machine descriptions. A bad name is
@@ -307,6 +385,11 @@ Spacewalker::explore(const ir::Program &prog)
         } catch (const std::exception &) {
             ctx->error = std::current_exception();
             ctx->memory.reset();
+        }
+        if (verifying && ctx->memory) {
+            support::TimedSpan span("walk.verify.class", "verify");
+            verifyClassInvariants(plan.predicated, *ctx, spaces_,
+                                  options_, diags);
         }
         classes.emplace(plan.predicated, std::move(ctx));
     }
@@ -436,6 +519,24 @@ Spacewalker::explore(const ir::Program &prog)
     }
     cache_.flush();
     phase.reset();
+
+    if (verifying) {
+        support::TimedSpan span("walk.verify.result", "verify");
+        verify::verifyWalkResult(result, n, diags);
+        if (!options_.evaluationCachePath.empty())
+            verify::verifyCacheFile(options_.evaluationCachePath,
+                                    diags);
+    }
+    if (!diags.empty()) {
+        for (const auto &d : diags.entries())
+            warn("verify: ", d.format());
+        warn("verification: ", diags.errorCount(), " error(s), ",
+             diags.warningCount(), " warning(s)");
+        PICO_METRIC_COUNT("walk.verify.errors", diags.errorCount());
+        PICO_METRIC_COUNT("walk.verify.warnings",
+                          diags.warningCount());
+    }
+    result.diagnostics = std::move(diags);
 
     if (!result.failures.empty())
         warn("exploration partial: ", result.failures.size(),

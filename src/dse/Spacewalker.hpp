@@ -28,6 +28,7 @@
 #include "ir/Program.hpp"
 #include "machine/MachineDesc.hpp"
 #include "support/ThreadPool.hpp"
+#include "verify/Diagnostics.hpp"
 
 namespace pico::dse
 {
@@ -122,6 +123,13 @@ struct ExplorationResult
     uint64_t evaluatedDesigns = 0;
     /** Per-design failures the walk survived (empty = complete). */
     FailureLog failures;
+    /**
+     * Findings of the verification passes (empty when verification
+     * was off). Verification never mutates the results above — the
+     * Pareto sets, dilations and cache bytes of a verified walk are
+     * bit-identical to an unverified one.
+     */
+    verify::Diagnostics diagnostics;
 
     /** True when every design of the walk evaluated cleanly. */
     bool complete() const { return failures.empty(); }
@@ -170,6 +178,14 @@ class Spacewalker
          * evaluation-cache bytes — are identical for every value.
          */
         unsigned jobs = 1;
+        /**
+         * Run the verification passes (src/verify) at the walk's
+         * phase boundaries: -1 = automatic (on in Debug builds, off
+         * in Release), 0 = off, 1 = on. Findings land in
+         * ExplorationResult::diagnostics and are summarized through
+         * warn(); they never change the walk's results.
+         */
+        int verify = -1;
     };
 
     Spacewalker(MemorySpaces spaces,

@@ -29,10 +29,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "support/ThreadAnnotations.hpp"
 
 namespace pico
 {
@@ -104,8 +105,8 @@ class FaultInjector
      * a mutex; the armed count is a separate atomic so the unarmed
      * fast path in faultPoint() stays lock-free.
      */
-    mutable std::mutex mutex_;
-    std::map<std::string, Site> sites_;
+    mutable Mutex mutex_;
+    std::map<std::string, Site> sites_ PICO_GUARDED_BY(mutex_);
     std::atomic<uint64_t> armedCount_{0};
 };
 

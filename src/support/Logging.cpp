@@ -14,6 +14,8 @@ namespace pico
 namespace
 {
 
+void writeLine(const char *label, const std::string &msg);
+
 LogLevel
 levelFromEnv()
 {
@@ -33,9 +35,11 @@ levelFromEnv()
         return LogLevel::Error;
     if (v == "silent" || v == "off" || v == "none")
         return LogLevel::Silent;
-    // Misspelled levels must not silently hide warnings.
-    std::cerr << "warn: unknown PICOEVAL_LOG_LEVEL '" << v
-              << "', using 'info'\n";
+    // Misspelled levels must not silently hide warnings. Emitted
+    // through the shared formatter, not the level filter: this runs
+    // while the level flag itself is being initialized.
+    writeLine("warn", "unknown PICOEVAL_LOG_LEVEL '" + v +
+                          "', using 'info'");
     return LogLevel::Info;
 }
 
@@ -44,6 +48,22 @@ levelFlag()
 {
     static std::atomic<int> level{static_cast<int>(levelFromEnv())};
     return level;
+}
+
+void
+writeLine(const char *label, const std::string &msg)
+{
+    // One formatted write per message: parallel walks report from
+    // several threads, and piecewise inserts would interleave.
+    uint64_t ns = support::monotonicNowNs();
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[%9.3f] ",
+                  static_cast<double>(ns) / 1e9);
+    std::string line;
+    line.reserve(msg.size() + 32);
+    line.append(stamp).append(label).append(": ").append(msg).push_back(
+        '\n');
+    std::cerr << line << std::flush;
 }
 
 } // namespace
@@ -70,17 +90,7 @@ emitMessage(LogLevel level, const char *label, const std::string &msg)
 {
     if (logLevel() > level)
         return;
-    // One formatted write per message: parallel walks report from
-    // several threads, and piecewise inserts would interleave.
-    uint64_t ns = support::monotonicNowNs();
-    char stamp[32];
-    std::snprintf(stamp, sizeof(stamp), "[%9.3f] ",
-                  static_cast<double>(ns) / 1e9);
-    std::string line;
-    line.reserve(msg.size() + 32);
-    line.append(stamp).append(label).append(": ").append(msg).push_back(
-        '\n');
-    std::cerr << line << std::flush;
+    writeLine(label, msg);
 }
 
 } // namespace detail

@@ -37,9 +37,10 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/ThreadAnnotations.hpp"
 
 /** Compile-time kill switch: define PICOEVAL_DISABLE_METRICS to
  *  compile every metric update out of the hot paths entirely. */
@@ -211,16 +212,22 @@ class MetricsRegistry
     /** The calling thread's shard, registered on first use. */
     Shard &localShard();
 
-    size_t allocateSlots(size_t words, const std::string &name);
+    size_t allocateSlots(size_t words, const std::string &name)
+        PICO_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-    size_t nextSlot_ = 0;
+    mutable Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        PICO_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        PICO_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        PICO_GUARDED_BY(mutex_);
+    size_t nextSlot_ PICO_GUARDED_BY(mutex_) = 0;
     /** Owned for the life of the process; threads may die, their
-     *  totals persist. */
-    mutable std::vector<std::unique_ptr<Shard>> shards_;
+     *  totals persist. Registration is guarded; updates go through
+     *  each shard's relaxed atomics, lock-free. */
+    mutable std::vector<std::unique_ptr<Shard>> shards_
+        PICO_GUARDED_BY(mutex_);
 };
 
 /** Shorthand for MetricsRegistry::instance(). */

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Clang thread-safety-analysis shim and annotated lock types.
+ *
+ * The parallel engine (PR 2) and the instrumentation layer (PR 3)
+ * grew a real concurrency surface: a 16-shard lock-striped
+ * EvaluationCache, a nesting-safe ThreadPool, per-thread metrics and
+ * trace-event buffers, and a process-global fault injector. TSan only
+ * catches the interleavings a run happens to produce; Clang's static
+ * thread-safety analysis (-Wthread-safety) proves lock discipline at
+ * compile time, on every path, for free.
+ *
+ * The analysis needs two things this header provides:
+ *
+ *  - *Attribute macros* (PICO_GUARDED_BY, PICO_REQUIRES, ...) that
+ *    expand to Clang's thread-safety attributes under Clang and to
+ *    nothing elsewhere, so GCC builds are untouched.
+ *
+ *  - *Annotated lock types.* libstdc++'s std::mutex carries no
+ *    capability attributes, so the analysis cannot see through it.
+ *    support::Mutex wraps std::mutex as a PICO_CAPABILITY, and
+ *    support::MutexLock is the annotated scoped lock (it owns a
+ *    std::unique_lock internally, exposed via native() so
+ *    condition_variable::wait still works).
+ *
+ * Repo rule (enforced by tools/picoeval-lint.py): code under src/
+ * takes locks through these wrappers only; raw std::mutex /
+ * std::lock_guard / std::unique_lock appear in this header alone.
+ *
+ * Conventions:
+ *  - every field a mutex guards is annotated PICO_GUARDED_BY(mutex);
+ *  - private helpers called under a lock are PICO_REQUIRES(mutex);
+ *  - condition-variable waits loop manually around
+ *    cv.wait(lock.native()) instead of passing a predicate lambda
+ *    (the analysis cannot see that a lambda body runs under the
+ *    caller's lock, so predicate lambdas produce false positives).
+ */
+
+#ifndef PICO_SUPPORT_THREAD_ANNOTATIONS_HPP
+#define PICO_SUPPORT_THREAD_ANNOTATIONS_HPP
+
+#include <mutex>
+
+#if defined(__clang__)
+#define PICO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PICO_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define PICO_CAPABILITY(x) PICO_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its
+ *  dtor. */
+#define PICO_SCOPED_CAPABILITY PICO_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field is protected by the given capability. */
+#define PICO_GUARDED_BY(x) PICO_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee is protected by the given capability. */
+#define PICO_PT_GUARDED_BY(x) PICO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function acquires the capability (held on return). */
+#define PICO_ACQUIRE(...)                                             \
+    PICO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define PICO_RELEASE(...)                                             \
+    PICO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability when returning `result`. */
+#define PICO_TRY_ACQUIRE(result, ...)                                 \
+    PICO_THREAD_ANNOTATION(                                           \
+        try_acquire_capability(result, __VA_ARGS__))
+
+/** Caller must already hold the capability. */
+#define PICO_REQUIRES(...)                                            \
+    PICO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (deadlock guard). */
+#define PICO_EXCLUDES(...)                                            \
+    PICO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define PICO_RETURN_CAPABILITY(x)                                     \
+    PICO_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: skip analysis of this function entirely. */
+#define PICO_NO_THREAD_SAFETY_ANALYSIS                                \
+    PICO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pico::support
+{
+
+/**
+ * std::mutex with capability attributes the analysis understands.
+ * Same cost and semantics as std::mutex; lock()/unlock() exist for
+ * the analysis and for MutexLock — call sites should prefer the
+ * scoped MutexLock.
+ */
+class PICO_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() PICO_ACQUIRE() { m_.lock(); }
+    void unlock() PICO_RELEASE() { m_.unlock(); }
+    bool try_lock() PICO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /**
+     * The wrapped mutex, for std::condition_variable via
+     * MutexLock::native() only. Locking through this reference
+     * bypasses the analysis — don't.
+     */
+    std::mutex &raw() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * Scoped lock of a support::Mutex (the annotated std::unique_lock).
+ * Owns the mutex for its whole lifetime; native() exposes the
+ * underlying std::unique_lock for condition_variable::wait, which
+ * releases and reacquires internally — invisible to, and fine with,
+ * the static analysis, as the lock is held again on every return.
+ */
+class PICO_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) PICO_ACQUIRE(mutex)
+        : lock_(mutex.raw())
+    {}
+
+    ~MutexLock() PICO_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** For cv.wait(lock.native()) — see class comment. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace pico::support
+
+#endif // PICO_SUPPORT_THREAD_ANNOTATIONS_HPP

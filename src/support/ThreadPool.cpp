@@ -29,7 +29,7 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -43,7 +43,7 @@ ThreadPool::submit(std::function<void()> task)
     panicIf(threads_.empty(),
             "task submitted to a zero-worker thread pool");
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         panicIf(stop_, "task submitted to a stopping thread pool");
         queue_.push_back(std::move(task));
     }
@@ -56,9 +56,12 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            // Manual wait loop instead of a predicate lambda: the
+            // thread-safety analysis cannot see that a lambda body
+            // runs under the caller's lock.
+            while (!stop_ && queue_.empty())
+                cv_.wait(lock.native());
             if (queue_.empty())
                 return; // stop_ and drained
             task = std::move(queue_.front());
@@ -95,10 +98,10 @@ struct LoopState
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
 
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable cv;
-    std::exception_ptr error;     // guarded by mutex
-    size_t errorIndex = SIZE_MAX; // guarded by mutex
+    std::exception_ptr error PICO_GUARDED_BY(mutex);
+    size_t errorIndex PICO_GUARDED_BY(mutex) = SIZE_MAX;
 
     /** Claim and run indices until the counter is exhausted. */
     void
@@ -111,7 +114,7 @@ struct LoopState
             try {
                 body(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex);
+                MutexLock lock(mutex);
                 if (i < errorIndex) {
                     errorIndex = i;
                     error = std::current_exception();
@@ -119,7 +122,7 @@ struct LoopState
             }
             if (done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
                 total) {
-                std::lock_guard<std::mutex> lock(mutex);
+                MutexLock lock(mutex);
                 cv.notify_all();
             }
         }
@@ -154,11 +157,10 @@ parallelFor(size_t n, ThreadPool *pool,
     // nested parallelFor calls deadlock-free.
     state->drain();
 
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->cv.wait(lock, [&state] {
-        return state->done.load(std::memory_order_acquire) ==
-               state->total;
-    });
+    MutexLock lock(state->mutex);
+    while (state->done.load(std::memory_order_acquire) !=
+           state->total)
+        state->cv.wait(lock.native());
     if (state->error)
         std::rethrow_exception(state->error);
 }

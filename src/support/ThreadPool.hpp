@@ -38,9 +38,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/ThreadAnnotations.hpp"
 
 namespace pico::support
 {
@@ -81,10 +82,10 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> threads_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    Mutex mutex_;
+    std::deque<std::function<void()>> queue_ PICO_GUARDED_BY(mutex_);
     std::condition_variable cv_;
-    bool stop_ = false;
+    bool stop_ PICO_GUARDED_BY(mutex_) = false;
 };
 
 /**

@@ -57,9 +57,14 @@ TraceRecorder::localBuf()
     if (tlsTraceBuf == nullptr) {
         auto buf = std::make_unique<ThreadBuf>();
         tlsTraceBuf = buf.get();
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         buf->tid = static_cast<uint32_t>(bufs_.size());
-        buf->name = "thread-" + std::to_string(buf->tid);
+        {
+            // The buffer is not shared yet, but name is guarded by
+            // buf->mutex; the nested acquisition is uncontended.
+            MutexLock nameLock(buf->mutex);
+            buf->name = "thread-" + std::to_string(buf->tid);
+        }
         bufs_.push_back(std::move(buf));
     }
     return *tlsTraceBuf;
@@ -69,7 +74,7 @@ void
 TraceRecorder::nameThisThread(const std::string &name)
 {
     auto &buf = localBuf();
-    std::lock_guard<std::mutex> lock(buf.mutex);
+    MutexLock lock(buf.mutex);
     buf.name = name;
 }
 
@@ -80,7 +85,7 @@ TraceRecorder::complete(const std::string &name, const char *category,
     if (!traceEnabled())
         return;
     auto &buf = localBuf();
-    std::lock_guard<std::mutex> lock(buf.mutex);
+    MutexLock lock(buf.mutex);
     buf.events.push_back(
         Event{name, category, 'X', start_ns, duration_ns});
 }
@@ -91,7 +96,7 @@ TraceRecorder::instant(const std::string &name, const char *category)
     if (!traceEnabled())
         return;
     auto &buf = localBuf();
-    std::lock_guard<std::mutex> lock(buf.mutex);
+    MutexLock lock(buf.mutex);
     buf.events.push_back(
         Event{name, category, 'i', monotonicNowNs(), 0});
 }
@@ -105,7 +110,7 @@ TraceRecorder::writeJson(const std::string &path) const
         return false;
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
     auto sep = [&first, &out] {
@@ -115,7 +120,7 @@ TraceRecorder::writeJson(const std::string &path) const
         first = false;
     };
     for (const auto &buf : bufs_) {
-        std::lock_guard<std::mutex> bufLock(buf->mutex);
+        MutexLock bufLock(buf->mutex);
         sep();
         out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << buf->tid
             << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
@@ -148,9 +153,9 @@ TraceRecorder::writeJson(const std::string &path) const
 void
 TraceRecorder::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &buf : bufs_) {
-        std::lock_guard<std::mutex> bufLock(buf->mutex);
+        MutexLock bufLock(buf->mutex);
         buf->events.clear();
     }
 }
@@ -158,10 +163,10 @@ TraceRecorder::clear()
 size_t
 TraceRecorder::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     size_t total = 0;
     for (const auto &buf : bufs_) {
-        std::lock_guard<std::mutex> bufLock(buf->mutex);
+        MutexLock bufLock(buf->mutex);
         total += buf->events.size();
     }
     return total;

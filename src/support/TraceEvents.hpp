@@ -29,11 +29,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "support/Metrics.hpp"
+#include "support/ThreadAnnotations.hpp"
 
 namespace pico::support
 {
@@ -106,17 +106,19 @@ class TraceRecorder
     struct ThreadBuf
     {
         uint32_t tid = 0;
-        std::string name;
         /** Guards events/name: appends come from the owning thread,
          *  reads from writeJson()/clear() on any thread. */
-        mutable std::mutex mutex;
-        std::vector<Event> events;
+        mutable Mutex mutex;
+        std::string name PICO_GUARDED_BY(mutex);
+        std::vector<Event> events PICO_GUARDED_BY(mutex);
     };
 
     ThreadBuf &localBuf();
 
-    mutable std::mutex mutex_; ///< guards bufs_ registration
-    mutable std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+    /** Guards bufs_ registration. */
+    mutable Mutex mutex_;
+    mutable std::vector<std::unique_ptr<ThreadBuf>> bufs_
+        PICO_GUARDED_BY(mutex_);
 };
 
 /**

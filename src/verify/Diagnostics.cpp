@@ -1,0 +1,70 @@
+#include "verify/Diagnostics.hpp"
+
+#include <sstream>
+
+namespace pico::verify
+{
+
+const char *
+toString(Severity severity)
+{
+    return severity == Severity::Error ? "error" : "warning";
+}
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream os;
+    os << toString(severity) << ": " << rule << ": " << object
+       << ": " << message;
+    return os.str();
+}
+
+void
+Diagnostics::error(std::string rule, std::string object,
+                   std::string message)
+{
+    entries_.push_back(Diagnostic{Severity::Error, std::move(rule),
+                                  std::move(object),
+                                  std::move(message)});
+    ++errors_;
+}
+
+void
+Diagnostics::warning(std::string rule, std::string object,
+                     std::string message)
+{
+    entries_.push_back(Diagnostic{Severity::Warning, std::move(rule),
+                                  std::move(object),
+                                  std::move(message)});
+}
+
+void
+Diagnostics::append(const Diagnostics &other)
+{
+    entries_.insert(entries_.end(), other.entries_.begin(),
+                    other.entries_.end());
+    errors_ += other.errors_;
+}
+
+size_t
+Diagnostics::count(const std::string &rule) const
+{
+    size_t n = 0;
+    for (const auto &d : entries_) {
+        if (d.rule == rule)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+Diagnostics::report() const
+{
+    std::ostringstream os;
+    for (const auto &d : entries_)
+        os << d.format() << '\n';
+    return os.str();
+}
+
+} // namespace pico::verify

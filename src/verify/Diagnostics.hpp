@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Structured diagnostics for the static verification layer.
+ *
+ * Verifier passes (ProgramVerifier, DesignVerifier, ResultVerifier)
+ * never panic on a violated invariant: a walk that is already running
+ * should finish and *report*, exactly as an LLVM verifier pass
+ * reports a broken module instead of crashing the compiler. Each
+ * finding is recorded as a Diagnostic — severity, stable rule id,
+ * offending object, message — and callers decide what to do with the
+ * list (fail a test, warn in a walk, gate a CI job).
+ *
+ * Rule ids are stable dotted names ("ir.flow", "cache.geometry",
+ * "result.pareto", ...) so tests can assert that a specific check
+ * fired and release-notes can reference individual rules. The full
+ * catalog lives in DESIGN.md §9.
+ *
+ * Severities:
+ *  - Error: a structural invariant is violated; results derived from
+ *    this object cannot be trusted.
+ *  - Warning: a model *assumption* does not hold for the measured
+ *    data (e.g. the AHH run-model domain, eq. 4.4) — results are
+ *    well-defined but extrapolations may be inaccurate.
+ */
+
+#ifndef PICO_VERIFY_DIAGNOSTICS_HPP
+#define PICO_VERIFY_DIAGNOSTICS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pico::verify
+{
+
+/** Finding severity; only errors make a Diagnostics list unclean. */
+enum class Severity
+{
+    Warning,
+    Error,
+};
+
+/** Printable name of a severity. */
+const char *toString(Severity severity);
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Stable dotted rule id, e.g. "ir.flow". */
+    std::string rule;
+    /** The object the finding is about, e.g. "func main block 3". */
+    std::string object;
+    std::string message;
+
+    /** "error: ir.flow: func main block 3: ...". */
+    std::string format() const;
+};
+
+/** Accumulated findings of one or more verifier passes. */
+class Diagnostics
+{
+  public:
+    /** Record an error-severity finding. */
+    void error(std::string rule, std::string object,
+               std::string message);
+
+    /** Record a warning-severity finding. */
+    void warning(std::string rule, std::string object,
+                 std::string message);
+
+    /** Splice another list's findings onto this one. */
+    void append(const Diagnostics &other);
+
+    const std::vector<Diagnostic> &entries() const
+    {
+        return entries_;
+    }
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Error-severity findings. */
+    size_t errorCount() const { return errors_; }
+    /** Warning-severity findings. */
+    size_t warningCount() const
+    {
+        return entries_.size() - errors_;
+    }
+
+    /** True when no error-severity finding was recorded. */
+    bool clean() const { return errors_ == 0; }
+
+    /** Findings recorded under one rule id. */
+    size_t count(const std::string &rule) const;
+
+    /** True when any finding carries the rule id. */
+    bool has(const std::string &rule) const
+    {
+        return count(rule) > 0;
+    }
+
+    /** One formatted line per finding ("" when empty). */
+    std::string report() const;
+
+  private:
+    std::vector<Diagnostic> entries_;
+    size_t errors_ = 0;
+};
+
+} // namespace pico::verify
+
+#endif // PICO_VERIFY_DIAGNOSTICS_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * IR/CFG and text-layout invariant verifier (LLVM-verifier style).
+ *
+ * The paper's hierarchical evaluation is sound only on structurally
+ * well-formed inputs: assumption 1 (identical basic-block traces
+ * across processors) needs a consistent CFG, the dilation argument of
+ * Lemma 1 assumes a monotone, non-overlapping, contiguous text
+ * layout, and the trace modelers assume flow-conserving edge
+ * profiles. These passes check exactly those properties and report
+ * violations as Diagnostics instead of panicking.
+ *
+ * Rules (catalog in DESIGN.md §9):
+ *  - ir.structure    program finalized, entry function exists,
+ *                    functions/blocks indexed consistently
+ *  - ir.edge-target  every CFG edge targets an existing block
+ *  - ir.edge-prob    edge probabilities in [0,1], summing to 1 per
+ *                    exiting block (finalize()'s tolerance)
+ *  - ir.operands     latency >= 1, in-block deps refer to earlier
+ *                    operations, memory ops reference a live stream
+ *  - ir.flow         profile-count flow conservation: the entry
+ *                    block's count equals the function's call count,
+ *                    and no block is entered more often than its
+ *                    predecessors were (exact, even for truncated
+ *                    profiling runs)
+ *  - ir.stream       data streams sized, placed at or above the data
+ *                    base, non-overlapping
+ *  - layout.monotone blocks of each function placed contiguously at
+ *                    non-decreasing, non-overlapping addresses
+ *  - layout.bounds   all placed blocks within [textBase,
+ *                    textBase + textSize)
+ *  - layout.align    function entry blocks aligned to the machine's
+ *                    fetch-packet size
+ */
+
+#ifndef PICO_VERIFY_PROGRAM_VERIFIER_HPP
+#define PICO_VERIFY_PROGRAM_VERIFIER_HPP
+
+#include "ir/Program.hpp"
+#include "linker/LinkedBinary.hpp"
+#include "verify/Diagnostics.hpp"
+
+namespace pico::verify
+{
+
+/**
+ * Check IR/CFG invariants of a (finalized, optionally profiled)
+ * program. Appends findings to `diags`.
+ * @return true when no error-severity finding was added
+ */
+bool verifyProgram(const ir::Program &prog, Diagnostics &diags);
+
+/**
+ * Check the text layout of a linked binary against the program it
+ * was produced from (monotone non-overlapping placement, bounds,
+ * fetch-packet alignment of function entries).
+ * @return true when no error-severity finding was added
+ */
+bool verifyLayout(const ir::Program &prog,
+                  const linker::LinkedBinary &bin,
+                  Diagnostics &diags);
+
+} // namespace pico::verify
+
+#endif // PICO_VERIFY_PROGRAM_VERIFIER_HPP

@@ -1,0 +1,211 @@
+#include "verify/ResultVerifier.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+namespace pico::verify
+{
+
+namespace
+{
+
+/**
+ * The evaluation-cache format, restated here from DESIGN.md rather
+ * than shared with EvaluationCache.cpp: the round-trip check is only
+ * meaningful against an independent reading of the format.
+ */
+constexpr const char *cacheFileHeader = "picoeval-evalcache-v2";
+
+/** Parse one comma-separated value list; all values must be finite. */
+bool
+parseValueList(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t comma = text.find(',', pos);
+        std::string token =
+            text.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        if (token.empty())
+            return false;
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() ||
+            !std::isfinite(v))
+            return false;
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+verifyMissCount(double misses, double accesses,
+                const std::string &what, Diagnostics &diags)
+{
+    size_t before = diags.errorCount();
+    if (!std::isfinite(misses) || !std::isfinite(accesses))
+        diags.error("result.misses", what,
+                    "non-finite miss or access count");
+    else if (misses < 0.0)
+        diags.error("result.misses", what,
+                    "negative miss count " + std::to_string(misses));
+    else if (misses > accesses)
+        diags.error("result.misses", what,
+                    "miss count " + std::to_string(misses) +
+                        " exceeds access count " +
+                        std::to_string(accesses));
+    return diags.errorCount() == before;
+}
+
+bool
+verifyParetoPoints(const std::vector<dse::DesignPoint> &points,
+                   const std::string &what, Diagnostics &diags)
+{
+    size_t before = diags.errorCount();
+    for (const auto &point : points) {
+        if (point.id.empty())
+            diags.error("result.pareto", what,
+                        "member with an empty id");
+        if (!std::isfinite(point.cost) ||
+            !std::isfinite(point.time) || point.cost < 0.0 ||
+            point.time < 0.0)
+            diags.error("result.pareto", what + " member " + point.id,
+                        "cost/time must be finite and non-negative");
+    }
+    for (size_t i = 0; i < points.size(); ++i) {
+        for (size_t j = i + 1; j < points.size(); ++j) {
+            if (points[i].id == points[j].id)
+                diags.error("result.pareto", what,
+                            "duplicate member id " + points[i].id);
+            if (points[i].dominates(points[j]))
+                diags.error("result.pareto", what,
+                            "member " + points[i].id +
+                                " dominates member " + points[j].id);
+            else if (points[j].dominates(points[i]))
+                diags.error("result.pareto", what,
+                            "member " + points[j].id +
+                                " dominates member " + points[i].id);
+        }
+    }
+    return diags.errorCount() == before;
+}
+
+bool
+verifyParetoSet(const dse::ParetoSet &set, const std::string &what,
+                Diagnostics &diags)
+{
+    return verifyParetoPoints(set.points(), what, diags);
+}
+
+bool
+verifyCacheFile(const std::string &path, Diagnostics &diags)
+{
+    size_t before = diags.errorCount();
+    std::string what = "cache file " + path;
+    // The verifier is itself a checked reader: every record is
+    // validated below. picoeval-lint: allow(raw-stream)
+    std::ifstream in(path);
+    if (!in) {
+        diags.error("result.cachefile", what, "cannot open");
+        return false;
+    }
+    std::string line;
+    if (!std::getline(in, line) || line != cacheFileHeader) {
+        diags.error("result.cachefile", what,
+                    "missing or wrong version header (expected '" +
+                        std::string(cacheFileHeader) + "')");
+        return false;
+    }
+    std::string prevKey;
+    uint64_t lineNo = 1;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::string at = what + " line " + std::to_string(lineNo);
+        if (line.empty()) {
+            diags.error("result.cachefile", at, "empty record");
+            continue;
+        }
+        auto bar = line.find('|');
+        if (bar == std::string::npos || bar == 0) {
+            diags.error("result.cachefile", at,
+                        "malformed record (expected 'key|values')");
+            continue;
+        }
+        std::string key = line.substr(0, bar);
+        if (!parseValueList(line.substr(bar + 1)))
+            diags.error("result.cachefile", at,
+                        "values are not a comma-separated list of "
+                        "finite numbers");
+        if (!prevKey.empty() && key <= prevKey)
+            diags.error("result.cachefile", at,
+                        "keys are not strictly ascending ('" + key +
+                            "' after '" + prevKey + "')");
+        prevKey = std::move(key);
+    }
+    return diags.errorCount() == before;
+}
+
+bool
+verifyWalkResult(const dse::ExplorationResult &result,
+                 uint64_t design_count, Diagnostics &diags)
+{
+    size_t before = diags.errorCount();
+    std::string what = "exploration result";
+    if (result.evaluatedDesigns > design_count)
+        diags.error("result.walk", what,
+                    "claims " +
+                        std::to_string(result.evaluatedDesigns) +
+                        " evaluated design(s) but the walk has "
+                        "only " +
+                        std::to_string(design_count));
+    if (result.failures.empty() &&
+        result.evaluatedDesigns != design_count)
+        diags.error("result.walk", what,
+                    "no failures recorded, yet only " +
+                        std::to_string(result.evaluatedDesigns) +
+                        " of " + std::to_string(design_count) +
+                        " design(s) evaluated");
+    if (result.dilations.size() != result.evaluatedDesigns)
+        diags.error("result.walk", what,
+                    std::to_string(result.dilations.size()) +
+                        " dilation(s) for " +
+                        std::to_string(result.evaluatedDesigns) +
+                        " evaluated design(s)");
+    if (result.processorCycles.size() != result.evaluatedDesigns)
+        diags.error("result.walk", what,
+                    std::to_string(result.processorCycles.size()) +
+                        " cycle count(s) for " +
+                        std::to_string(result.evaluatedDesigns) +
+                        " evaluated design(s)");
+    for (const auto &[machine, dilation] : result.dilations) {
+        if (!std::isfinite(dilation) || dilation <= 0.0)
+            diags.error("result.walk", "machine " + machine,
+                        "dilation " + std::to_string(dilation) +
+                            " is not finite and positive");
+    }
+    for (const auto &[machine, cycles] : result.processorCycles) {
+        if (cycles == 0)
+            diags.error("result.walk", "machine " + machine,
+                        "zero processor cycles");
+    }
+    for (const auto &record : result.failures.entries()) {
+        if (record.design.empty() || record.stage.empty())
+            diags.error("result.walk", "failure log",
+                        "record with an empty design or stage");
+    }
+    verifyParetoPoints(result.processors.points(),
+                       "processor Pareto set", diags);
+    verifyParetoPoints(result.systems.points(),
+                       "system Pareto set", diags);
+    return diags.errorCount() == before;
+}
+
+} // namespace pico::verify

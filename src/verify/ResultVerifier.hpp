@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Result invariant verifier: simulator outputs, Pareto sets, the
+ * persistent evaluation-cache file, and whole-walk bookkeeping.
+ *
+ * Rules (catalog in DESIGN.md §9):
+ *  - result.misses    miss counts are finite, non-negative, and never
+ *                     exceed the access count they were counted over
+ *  - result.pareto    Pareto members have unique ids, finite
+ *                     non-negative cost/time, and no member dominates
+ *                     another (section 1's optimality definition)
+ *  - result.cachefile a persisted evaluation-cache database parses
+ *                     back cleanly: versioned header, well-formed
+ *                     sorted unique `key|values` records, finite
+ *                     values (parsed here independently of
+ *                     EvaluationCache so the round-trip is checked
+ *                     against the format, not the implementation)
+ *  - result.walk      exploration bookkeeping: evaluated-design count
+ *                     bounded by the walk size and consistent with
+ *                     the failure log, per-machine dilations/cycles
+ *                     present, finite and positive
+ */
+
+#ifndef PICO_VERIFY_RESULT_VERIFIER_HPP
+#define PICO_VERIFY_RESULT_VERIFIER_HPP
+
+#include <string>
+#include <vector>
+
+#include "dse/Pareto.hpp"
+#include "dse/Spacewalker.hpp"
+#include "verify/Diagnostics.hpp"
+
+namespace pico::verify
+{
+
+/**
+ * Check one simulator outcome: `misses` counted over `accesses`.
+ * @return true when no error-severity finding was added
+ */
+bool verifyMissCount(double misses, double accesses,
+                     const std::string &what, Diagnostics &diags);
+
+/**
+ * Check a claimed Pareto set for domination-freedom, id uniqueness
+ * and metric sanity.
+ * @return true when no error-severity finding was added
+ */
+bool verifyParetoPoints(const std::vector<dse::DesignPoint> &points,
+                        const std::string &what, Diagnostics &diags);
+
+/** ParetoSet convenience overload of verifyParetoPoints(). */
+bool verifyParetoSet(const dse::ParetoSet &set,
+                     const std::string &what, Diagnostics &diags);
+
+/**
+ * Re-parse a persisted evaluation-cache database and check the
+ * format invariants (header, record shape, key ordering, finite
+ * values).
+ * @return true when no error-severity finding was added
+ */
+bool verifyCacheFile(const std::string &path, Diagnostics &diags);
+
+/**
+ * Check the bookkeeping of a finished exploration.
+ * @param design_count machines the walk was asked to evaluate
+ * @return true when no error-severity finding was added
+ */
+bool verifyWalkResult(const dse::ExplorationResult &result,
+                      uint64_t design_count, Diagnostics &diags);
+
+} // namespace pico::verify
+
+#endif // PICO_VERIFY_RESULT_VERIFIER_HPP

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Repo lint for picoeval's determinism and concurrency contracts.
+
+Checks C++ sources under src/ for constructions the project bans:
+
+  wallclock-rng  rand()/srand()/std::random_device/time()/
+                 system_clock in library code. Results must be a pure
+                 function of program seeds; wall-clock or
+                 nondeterministic entropy in a result path breaks the
+                 bit-identity contract of the parallel walk.
+  raw-mutex      std::mutex / lock_guard / unique_lock / scoped_lock
+                 outside support/ThreadAnnotations.hpp. All locking
+                 goes through the annotated support::Mutex /
+                 support::MutexLock wrappers so Clang's
+                 -Wthread-safety analysis sees every acquisition.
+  raw-stream     std::ifstream / std::fstream outside the checked
+                 readers (TraceFile, EvaluationCache::load,
+                 FaultInjection). Ad-hoc file reads skip the
+                 corruption quarantine the fault-tolerance layer
+                 guarantees.
+  raw-output     std::cout / std::cerr / printf family outside
+                 support/Logging.cpp. Library code reports through
+                 the leveled logging sink, which is filterable and
+                 emits one atomic write per message.
+
+Comments and string literals are stripped before matching. A finding
+is suppressed when its own line — or the line directly above it —
+contains `picoeval-lint: allow(<rule>)` in the source text.
+
+Usage: picoeval-lint.py [--list-rules] [PATH...]
+Exits 1 when any violation is found.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULES = [
+    {
+        "name": "wallclock-rng",
+        "pattern": re.compile(
+            r"\brand\s*\(|\bsrand\s*\(|std::random_device"
+            r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+            r"|system_clock"
+        ),
+        "allow_files": [],
+        "message": "nondeterministic entropy or wall-clock in library "
+                   "code (results must be a pure function of seeds)",
+    },
+    {
+        "name": "raw-mutex",
+        "pattern": re.compile(
+            r"std::(?:recursive_|shared_|timed_)?mutex\b"
+            r"|std::lock_guard\b|std::unique_lock\b"
+            r"|std::scoped_lock\b"
+        ),
+        "allow_files": ["src/support/ThreadAnnotations.hpp"],
+        "message": "raw standard mutex/lock outside the annotated "
+                   "support::Mutex/MutexLock wrappers "
+                   "(invisible to -Wthread-safety)",
+    },
+    {
+        "name": "raw-stream",
+        "pattern": re.compile(r"std::ifstream\b|std::fstream\b"),
+        "allow_files": [
+            "src/trace/TraceFile.hpp",
+            "src/trace/TraceFile.cpp",
+            "src/dse/EvaluationCache.cpp",
+            "src/support/FaultInjection.cpp",
+        ],
+        "message": "file read outside the checked readers (must "
+                   "validate/quarantine corrupt input)",
+    },
+    {
+        "name": "raw-output",
+        "pattern": re.compile(
+            r"std::cout\b|std::cerr\b|std::clog\b"
+            r"|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\("
+        ),
+        "allow_files": ["src/support/Logging.cpp"],
+        "message": "direct terminal output in library code (route "
+                   "through the leveled logging sink)",
+    },
+]
+
+ALLOW_RE = re.compile(r"picoeval-lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, keeping the line
+    structure (and therefore line numbers) intact."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line-comment | block-comment | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path, repo_root):
+    rel = path.relative_to(repo_root).as_posix()
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    stripped_lines = strip_comments_and_strings(raw).splitlines()
+    findings = []
+    for rule in RULES:
+        if rel in rule["allow_files"]:
+            continue
+        for lineno, line in enumerate(stripped_lines, 1):
+            if not rule["pattern"].search(line):
+                continue
+            src = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            above = raw_lines[lineno - 2] if lineno >= 2 else ""
+            allow = (ALLOW_RE.search(src)
+                     or ALLOW_RE.search(above))
+            if allow and allow.group(1) == rule["name"]:
+                continue
+            findings.append(
+                (rel, lineno, rule["name"], rule["message"]))
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="picoeval repo lint (see module docstring)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule['name']}: {rule['message']}")
+        return 0
+
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = ([Path(p) for p in args.paths] if args.paths
+             else [repo_root / "src"])
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.hpp")))
+            files.extend(sorted(root.rglob("*.cpp")))
+        elif root.is_file():
+            files.append(root)
+        else:
+            print(f"picoeval-lint: no such path: {root}",
+                  file=sys.stderr)
+            return 2
+
+    findings = []
+    for path in sorted(set(f.resolve() for f in files)):
+        findings.extend(lint_file(path, repo_root))
+
+    findings.sort()
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: {rule}: {message}")
+    if findings:
+        print(f"picoeval-lint: {len(findings)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"picoeval-lint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
