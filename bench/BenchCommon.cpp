@@ -312,7 +312,12 @@ BenchReport::toJson() const
 bool
 BenchReport::write(const std::string &dir) const
 {
-    std::string path = dir + "/BENCH_" + name_ + ".json";
+    return writeTo(dir + "/BENCH_" + name_ + ".json");
+}
+
+bool
+BenchReport::writeTo(const std::string &path) const
+{
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
         warn("cannot write bench report '", path, "'");
@@ -326,6 +331,36 @@ BenchReport::write(const std::string &dir) const
     }
     inform("bench report written to ", path);
     return true;
+}
+
+std::string
+extractJsonOutArg(int &argc, char **argv)
+{
+    const std::string flag = "--json-out";
+    std::string path;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            path = arg.substr(flag.size() + 1);
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    return path;
+}
+
+bool
+writeReport(const BenchReport &report, const std::string &json_out)
+{
+    return json_out.empty() ? report.write()
+                            : report.writeTo(json_out);
 }
 
 } // namespace pico::bench

@@ -179,6 +179,13 @@ class BenchReport
      */
     bool write(const std::string &dir = ".") const;
 
+    /**
+     * Write the document to an explicit file path (the
+     * `--json-out <path>` contract every bench binary honors).
+     * @return false (after a warn()) on I/O failure
+     */
+    bool writeTo(const std::string &path) const;
+
   private:
     struct Table
     {
@@ -192,6 +199,23 @@ class BenchReport
     std::map<std::string, std::string> metrics_;
     std::map<std::string, std::string> info_;
 };
+
+/**
+ * Extract a `--json-out <path>` (or `--json-out=<path>`) argument
+ * and remove it from argv, so argument parsers that reject unknown
+ * flags (google-benchmark) never see it.
+ * @return the path, or "" when the flag is absent
+ */
+std::string extractJsonOutArg(int &argc, char **argv);
+
+/**
+ * Write a finished report honoring the uniform `--json-out` flag:
+ * to `json_out` when non-empty, else `BENCH_<name>.json` in the
+ * working directory.
+ * @return false (after a warn()) on I/O failure
+ */
+bool writeReport(const BenchReport &report,
+                 const std::string &json_out);
 
 } // namespace pico::bench
 

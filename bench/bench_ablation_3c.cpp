@@ -15,8 +15,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Ablation: three-C decomposition of dilated-trace "
                  "I-cache misses (085.gcc analogue, 1KB DM)\n\n";
 
@@ -44,5 +45,10 @@ main()
     std::cout << "\nCompulsory misses grow only with the code "
                  "footprint; the interference terms, which the AHH "
                  "collision model captures, carry the growth.\n";
-    return 0;
+
+    bench::BenchReport json("ablation_3c");
+    json.setInfo("experiment",
+                 "three-C decomposition under dilation (085.gcc)");
+    json.addTable(table);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

@@ -16,8 +16,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Ablation: decoupled vs coupled unified-cache "
                  "simulation (16KB 2-way 64B L2)\n\n";
 
@@ -65,5 +66,10 @@ main()
     std::cout << "\nSmall deltas justify evaluating the L2 with the "
                  "full trace regardless of the L1 configuration "
                  "(the paper's hierarchical decoupling).\n";
-    return 0;
+
+    bench::BenchReport json("ablation_inclusion");
+    json.setInfo("experiment",
+                 "decoupled vs coupled L2 simulation");
+    json.addTable(table);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

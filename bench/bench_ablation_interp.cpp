@@ -24,8 +24,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Ablation: AHH (eq 4.12) vs naive interpolation "
                  "between feasible line sizes\n\n";
 
@@ -89,5 +90,13 @@ main()
     std::cout << "\nThe AHH collision-based interpolation should "
                  "beat plain linear interpolation in line size, "
                  "matching the paper's design choice.\n";
-    return 0;
+
+    bench::BenchReport json("ablation_interp");
+    json.setInfo("experiment",
+                 "AHH vs naive line-size interpolation");
+    json.setMetric("err.mean.linear", err_linear.mean());
+    json.setMetric("err.mean.loglin", err_loglin.mean());
+    json.setMetric("err.mean.ahh", err_ahh.mean());
+    json.addTable(table);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

@@ -55,8 +55,9 @@ evaluate(const ir::Program &prog, const linker::LinkerOptions &opts,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Ablation: linker layout policies "
                  "(1KB direct-mapped I-cache, 1111 reference)\n\n";
 
@@ -95,5 +96,9 @@ main()
     std::cout << "\n'profile gain' > 1 means profile-guided function "
                  "ordering reduced misses; 'align cost' is the text "
                  "bytes paid for packet-aligned branch targets.\n";
-    return 0;
+
+    bench::BenchReport json("ablation_layout");
+    json.setInfo("experiment", "linker layout policy ablation");
+    json.addTable(table);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

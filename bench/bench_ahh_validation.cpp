@@ -22,8 +22,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "AHH model validation: eq 4.7 scaling from one "
                  "anchor cache vs simulation (instruction traces)\n\n";
 
@@ -98,5 +99,13 @@ main()
                  "dilation model only uses the AHH model to "
                  "interpolate between simulations, never to replace "
                  "them.\n";
-    return 0;
+
+    bench::BenchReport json("ahh_validation");
+    json.setInfo("experiment", "baseline AHH model validation");
+    json.setMetric("err.mean.l4.dm", col[0].mean());
+    json.setMetric("err.mean.l16.dm", col[1].mean());
+    json.setMetric("err.mean.l16.sa", col[2].mean());
+    json.setMetric("err.mean.l32.sa", col[3].mean());
+    json.addTable(table);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

@@ -8,21 +8,31 @@
  * Plus the parallel companion: one single-pass sweep is needed *per
  * line size*, and those sweeps are independent, so the SimBank runs
  * them concurrently on a ThreadPool. BM_ParallelLineSweeps measures
- * that sweep at 1, 2 and 4 jobs (real time; jobs = 1 is the serial
- * reference — speedup is hardware-dependent and only shows on
- * multi-core machines).
+ * that sweep — over the production columnar trace path — at 1, 2 and
+ * 4 jobs (real time; jobs = 1 is the serial fused reference —
+ * speedup is hardware-dependent and only shows on multi-core
+ * machines).
+ *
+ * The run times of every benchmark are harvested into
+ * BENCH_cheetah_speedup.json (honoring --json-out) together with the
+ * derived ratios the CI bench gate tracks:
+ *   allconfigs_cost_vs_single        one-pass-all-configs vs one
+ *   singlepass_vs_perconfig_speedup  one pass vs 20 naive passes
  */
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
 #include <vector>
 
+#include "bench/BenchCommon.hpp"
 #include "cache/CacheSim.hpp"
 #include "cache/SinglePassSim.hpp"
 #include "dse/Evaluators.hpp"
 #include "support/Random.hpp"
 #include "support/ThreadPool.hpp"
-#include "trace/TraceBuffer.hpp"
+#include "trace/ColumnarTrace.hpp"
 
 using namespace pico;
 
@@ -100,11 +110,11 @@ BM_PerConfigPasses(benchmark::State &state)
         static_cast<int64_t>(state.iterations() * trace.size()));
 }
 
-const trace::TraceBuffer &
+const trace::ColumnarTraceBuffer &
 sharedBuffer()
 {
-    static trace::TraceBuffer buffer = [] {
-        trace::TraceBuffer b;
+    static trace::ColumnarTraceBuffer buffer = [] {
+        trace::ColumnarTraceBuffer b;
         for (auto addr : sharedTrace())
             b(trace::Access{addr, true, false});
         return b;
@@ -138,6 +148,40 @@ BM_ParallelLineSweeps(benchmark::State &state)
         dse::SimBank(space).simRuns()));
 }
 
+/**
+ * Console reporter that additionally harvests every finished run's
+ * adjusted real time, so the bench report carries the same numbers
+ * the console shows.
+ */
+class HarvestingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const auto &run : runs) {
+            if (!run.error_occurred)
+                realNs[run.benchmark_name()] =
+                    run.GetAdjustedRealTime();
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::map<std::string, double> realNs;
+};
+
+/** Metric-key-safe name: '/' (arg separator) becomes '.'. */
+std::string
+metricKey(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == '/' || c == ':')
+            c = '.';
+    }
+    return out;
+}
+
 } // namespace
 
 BENCHMARK(BM_SingleConfigSim)->Arg(128);
@@ -149,4 +193,45 @@ BENCHMARK(BM_ParallelLineSweeps)
     ->Arg(4)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_out = bench::extractJsonOutArg(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    HarvestingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    bench::BenchReport json("cheetah_speedup");
+    json.setInfo("experiment",
+                 "single-pass vs per-config simulation cost");
+    for (const auto &[name, ns] : reporter.realNs)
+        json.setMetric(metricKey(name) + ".real_ns", ns);
+
+    // The two ratios of the paper's claim; both are >> 1 when the
+    // single-pass lever works, and stable enough to gate on.
+    auto ns = [&](const char *name) {
+        auto it = reporter.realNs.find(name);
+        return it == reporter.realNs.end() ? 0.0 : it->second;
+    };
+    double single = ns("BM_SingleConfigSim/128");
+    double all = ns("BM_SinglePassAllConfigs");
+    double per_config = ns("BM_PerConfigPasses");
+    if (all > 0.0 && single > 0.0) {
+        // Cost of the full-range pass relative to one config
+        // (lower-better, the paper expects a small multiple) and the
+        // speedup over 20 naive per-config passes (higher-better).
+        json.setMetric("allconfigs_cost_vs_single", all / single);
+        json.setMetric("singlepass_vs_perconfig_speedup",
+                       per_config / all);
+    }
+    double serial = ns("BM_ParallelLineSweeps/1/real_time");
+    double four = ns("BM_ParallelLineSweeps/4/real_time");
+    if (four > 0.0)
+        json.setMetric("parallel_sweep_speedup_4j", serial / four);
+
+    benchmark::Shutdown();
+    return bench::writeReport(json, json_out) ? 0 : 1;
+}

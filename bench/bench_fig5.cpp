@@ -22,7 +22,7 @@ namespace
 {
 
 void
-reportApp(const std::string &app_name)
+reportApp(const std::string &app_name, bench::BenchReport &json)
 {
     auto app = bench::buildApp(app_name);
     const auto &prog = app.program();
@@ -60,17 +60,21 @@ reportApp(const std::string &app_name)
                       TextTable::num(dyn_dist.quantile(0.5), 2)});
         table.print(std::cout);
         std::cout << "\n";
+        json.addTable(table);
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Figure 5: dilation distribution for 085.gcc and "
                  "ghostscript\n\n";
-    reportApp("085.gcc");
-    reportApp("ghostscript");
-    return 0;
+    bench::BenchReport json("fig5");
+    json.setInfo("experiment", "per-block dilation distributions");
+    reportApp("085.gcc", json);
+    reportApp("ghostscript", json);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

@@ -34,7 +34,7 @@ dilationGrid()
 }
 
 void
-icachePanel(const bench::AppContext &app)
+icachePanel(const bench::AppContext &app, bench::BenchReport &json)
 {
     // The oracle simulates the reference trace once per line size
     // via the single-pass bank covering both cache shapes.
@@ -70,10 +70,11 @@ icachePanel(const bench::AppContext &app)
     }
     table.print(std::cout);
     std::cout << "\n";
+    json.addTable(table);
 }
 
 void
-ucachePanel(const bench::AppContext &app)
+ucachePanel(const bench::AppContext &app, bench::BenchReport &json)
 {
     core::DilationModel model(app.instrParams(),
                               app.unifiedInstrParams(),
@@ -106,17 +107,22 @@ ucachePanel(const bench::AppContext &app)
     }
     table.print(std::cout);
     std::cout << "\n";
+    json.addTable(table);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Figure 6: estimated and dilated misses versus "
                  "text dilation for 085.gcc\n\n";
     auto app = bench::buildApp("085.gcc");
-    icachePanel(app);
-    ucachePanel(app);
-    return 0;
+    bench::BenchReport json("fig6");
+    json.setInfo("experiment",
+                 "estimated vs dilated misses (085.gcc)");
+    icachePanel(app, json);
+    ucachePanel(app, json);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

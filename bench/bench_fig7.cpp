@@ -23,7 +23,7 @@ namespace
 
 void
 panel(const bench::AppContext &app, bench::EvalCache which,
-      const std::string &title)
+      const std::string &title, bench::BenchReport &json)
 {
     TextTable table(title);
     table.setHeader({"Processor", "Actual", "Dilated", "Est"});
@@ -38,27 +38,32 @@ panel(const bench::AppContext &app, bench::EvalCache which,
     }
     table.print(std::cout);
     std::cout << "\n";
+    json.addTable(table);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Figure 7: actual, dilated and estimated misses "
                  "for 085.gcc (normalized to 1111)\n\n";
     auto app = bench::buildApp("085.gcc");
+    bench::BenchReport json("fig7");
+    json.setInfo("experiment",
+                 "actual vs dilated vs estimated misses (085.gcc)");
     panel(app, bench::EvalCache::SmallI,
-          "Misses for 1KB Instruction Cache");
+          "Misses for 1KB Instruction Cache", json);
     panel(app, bench::EvalCache::LargeI,
-          "Misses for 16 KB Instruction Cache");
+          "Misses for 16 KB Instruction Cache", json);
     panel(app, bench::EvalCache::SmallU,
-          "Misses for 16 KB Unified Cache");
+          "Misses for 16 KB Unified Cache", json);
     panel(app, bench::EvalCache::LargeU,
-          "Misses for 128 KB Unified Cache");
+          "Misses for 128 KB Unified Cache", json);
     std::cout << "Note: assuming memory performance is independent "
                  "of issue width would pin every\ncolumn at 1.00; "
                  "the actual values show why dilation must be "
                  "modeled.\n";
-    return 0;
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

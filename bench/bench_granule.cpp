@@ -17,8 +17,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Granule-size sensitivity of the AHH trace "
                  "parameters (085.gcc analogue)\n\n";
     auto app = bench::buildApp("085.gcc");
@@ -81,5 +82,10 @@ main()
                  "granule than the instruction (L1) model for "
                  "numerically stable collision counts, matching the "
                  "paper's 10k/200k choice.\n";
-    return 0;
+
+    bench::BenchReport json("granule");
+    json.setInfo("experiment", "granule-size sensitivity (085.gcc)");
+    json.addTable(itable);
+    json.addTable(utable);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

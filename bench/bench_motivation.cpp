@@ -36,8 +36,9 @@ seconds(std::chrono::steady_clock::time_point t0)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Section 1 motivation: exhaustive vs hierarchical "
                  "evaluation cost (ghostscript analogue)\n\n";
 
@@ -124,5 +125,14 @@ main()
                      exhaustive / (hierarchical + queries), 0)
               << "x (paper: 466 days -> hours; checksum "
               << TextTable::num(checksum, 0) << ")\n";
-    return 0;
+
+    bench::BenchReport json("motivation");
+    json.setInfo("experiment",
+                 "exhaustive vs hierarchical evaluation cost");
+    json.setMetric("seconds.exhaustive.projected", exhaustive);
+    json.setMetric("seconds.hierarchical", hierarchical);
+    json.setMetric("seconds.model.queries", queries);
+    json.setMetric("speedup", exhaustive / (hierarchical + queries));
+    json.addTable(table);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

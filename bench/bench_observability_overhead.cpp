@@ -50,6 +50,7 @@ bestOf(dse::SimBank &bank, const trace::TraceBuffer &buffer, int reps)
 int
 main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     const std::string app_name = argc > 1 ? argv[1] : "rasta";
     constexpr int reps = 5;
 
@@ -102,7 +103,7 @@ main(int argc, char **argv)
     json.setMetric("ns.enabled", on_ns);
     json.setMetric("overhead.percent", percent);
     json.addTable(table);
-    if (!json.write())
+    if (!bench::writeReport(json, json_out))
         return 1;
 
     // The budget check is advisory on shared CI runners (noise can

@@ -13,8 +13,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Spacewalker exploration (pgpdecode analogue): "
                  "cost/performance Pareto sets\n\n";
 
@@ -65,5 +66,18 @@ main()
     std::cout << "\n" << result.systems.offered()
               << " system designs offered, "
               << result.systems.size() << " on the Pareto front\n";
-    return 0;
+
+    bench::BenchReport json("pareto");
+    json.setInfo("experiment", "spacewalker Pareto sets (pgpdecode)");
+    json.setMetric("systems.offered",
+                   static_cast<uint64_t>(result.systems.offered()));
+    json.setMetric("systems.front",
+                   static_cast<uint64_t>(result.systems.size()));
+    json.setMetric("processors.front",
+                   static_cast<uint64_t>(result.processors.size()));
+    json.addTable(dil);
+    json.addTable(procs);
+    json.addTable(mem);
+    json.addTable(sys);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

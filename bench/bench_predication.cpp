@@ -23,8 +23,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Extension: predicated machines (hyperblock "
                  "if-conversion, 'p' machine variants)\n\n";
 
@@ -83,5 +84,9 @@ main()
                  "to 1111p), exactly how the dilation model is "
                  "applied when the design space mixes predication "
                  "settings.\n";
-    return 0;
+
+    bench::BenchReport json("predication");
+    json.setInfo("experiment", "plain vs predicated machine variants");
+    json.addTable(table);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

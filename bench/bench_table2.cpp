@@ -50,8 +50,9 @@ report(const std::vector<bench::AppContext> &suite,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Table 2: relative data cache miss rates "
                  "(normalized to the 1111 reference)\n\n";
     auto suite = bench::buildSuite();
@@ -64,5 +65,5 @@ main()
            "Relative Data Cache Miss rates (1 KB)", json);
     report(suite, bench::largeDcache(),
            "Relative Data Cache Miss rates (16 KB)", json);
-    return json.write() ? 0 : 1;
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

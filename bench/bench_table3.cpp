@@ -16,8 +16,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Table 3: text dilation for all benchmarks\n\n";
     auto suite = bench::buildSuite();
 
@@ -45,5 +46,14 @@ main()
 
     std::cout << "\nIssue widths: 4, 5, 8, 9, 14 — dilation grows "
                  "much more slowly than issue width.\n";
-    return 0;
+
+    bench::BenchReport json("table3");
+    json.setInfo("experiment", "text dilation per machine");
+    json.setMetric("benchmarks",
+                   static_cast<uint64_t>(suite.size()));
+    for (size_t i = 0; i < bench::paperMachines.size(); ++i)
+        json.setMetric("dilation.mean." + bench::paperMachines[i],
+                       per_machine[i].mean());
+    json.addTable(table);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

@@ -22,7 +22,8 @@ namespace
 
 void
 section(const std::vector<bench::AppContext> &suite,
-        bench::EvalCache which, const std::string &title)
+        bench::EvalCache which, const std::string &title,
+        bench::BenchReport &json)
 {
     TextTable table(title);
     std::vector<std::string> header = {"Benchmark", "1111/Act"};
@@ -60,19 +61,27 @@ section(const std::vector<bench::AppContext> &suite,
               << TextTable::num(est_err_narrow.mean(), 3)
               << ", wider = "
               << TextTable::num(est_err_wide.mean(), 3) << "\n\n";
+    json.addTable(table);
+    json.setMetric("est_err.narrow." + title,
+                   est_err_narrow.mean());
+    json.setMetric("est_err.wide." + title, est_err_wide.mean());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Table 4: actual, dilated and estimated misses for "
                  "all benchmarks (normalized to 1111)\n\n";
     auto suite = bench::buildSuite();
-    section(suite, bench::EvalCache::SmallI, "1 KB Icache");
-    section(suite, bench::EvalCache::LargeI, "16 KB Icache");
-    section(suite, bench::EvalCache::SmallU, "16 K Ucache");
-    section(suite, bench::EvalCache::LargeU, "128 K Ucache");
-    return 0;
+    bench::BenchReport json("table4");
+    json.setInfo("experiment",
+                 "bottom-line accuracy across the suite");
+    section(suite, bench::EvalCache::SmallI, "1 KB Icache", json);
+    section(suite, bench::EvalCache::LargeI, "16 KB Icache", json);
+    section(suite, bench::EvalCache::SmallU, "16 K Ucache", json);
+    section(suite, bench::EvalCache::LargeU, "128 K Ucache", json);
+    return bench::writeReport(json, json_out) ? 0 : 1;
 }

@@ -18,8 +18,9 @@
 using namespace pico;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_out = bench::extractJsonOutArg(argc, argv);
     std::cout << "Section 6.1 validation: reference simulator vs "
                  "independent (IMPACT-style) simulator\n\n";
 
@@ -68,5 +69,14 @@ main()
               << (identical ? "YES" : "NO")
               << " (paper: final miss rates virtually identical "
                  "after accounting for write-buffer handling)\n";
+
+    bench::BenchReport json("validation");
+    json.setInfo("experiment",
+                 "cross-validation vs independent simulator");
+    json.setMetric("identical",
+                   static_cast<uint64_t>(identical ? 1 : 0));
+    json.addTable(table);
+    if (!bench::writeReport(json, json_out))
+        return 1;
     return identical ? 0 : 1;
 }

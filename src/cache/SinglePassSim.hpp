@@ -13,6 +13,26 @@
  * truncated at the maximum associativity; the stack distance of each
  * reference is histogrammed. By LRU inclusion, misses for
  * associativity A are the references whose stack distance is >= A.
+ *
+ * Layout: the per-set stacks of one level (set count) live in a
+ * single flat tag array of sets x maxAssoc words (structure of
+ * arrays), slot [set * maxAssoc + d] holding the tag at LRU depth d.
+ * Empty slots hold the sentinel ~0, which no real line tag can equal
+ * (tags are addr >> log2(lineBytes), lineBytes >= 4). The inner loop
+ * is branch-free: the depth search reads all maxAssoc slots with a
+ * conditional-move reduction, the histogram has an extra miss bin at
+ * index maxAssoc so every reference increments exactly one bin, and
+ * the LRU update is a fixed-length shift-down-and-insert. One
+ * reference costs the same instruction sequence whether it hits or
+ * misses, which is what lets the block replay stream at memory
+ * bandwidth (see ColumnarTrace.hpp).
+ *
+ * On top of that sits an MRU filter: a reference to the same line as
+ * the previous reference hits at depth 0 in every level and leaves
+ * every stack unchanged, so it is counted in a single repeat counter
+ * instead of walked through the bank. Sequential instruction fetch
+ * makes such runs the common case, and misses() folds the counter
+ * back into the depth-0 bin of whichever level is queried.
  */
 
 #ifndef PICO_CACHE_SINGLE_PASS_SIM_HPP
@@ -31,6 +51,9 @@ namespace pico::cache
 class SinglePassSim
 {
   public:
+    /** Sentinel tag of an empty LRU slot (never a real line tag). */
+    static constexpr uint64_t emptyTag = ~0ULL;
+
     /**
      * @param line_bytes fixed line size (power of two)
      * @param min_sets smallest set count simulated (power of two)
@@ -45,6 +68,15 @@ class SinglePassSim
 
     /** Sink-compatible overload. */
     void operator()(const trace::Access &a) { access(a.addr); }
+
+    /**
+     * Feed a span of reference addresses (one decoded columnar
+     * block). Levels run in the outer loop so each level's tag array
+     * stays hot across the whole span; the result is bit-identical
+     * to calling access() per address, because levels are
+     * independent.
+     */
+    void accessBlock(const uint64_t *addrs, size_t n);
 
     /**
      * Feed an entire buffered trace. One simulator's replay touches
@@ -78,18 +110,35 @@ class SinglePassSim
     std::vector<CacheConfig> coveredConfigs() const;
 
   private:
-    /** Index of a set count in the stacks_/hist_ arrays. */
+    /** Index of a set count in the tags_/hist_ arrays. */
     size_t levelOf(uint32_t sets) const;
+
+    /** The branch-free per-reference update of one level. */
+    void touchLevel(size_t lv, uint64_t line);
 
     uint32_t lineBytes_;
     uint32_t minSets_;
     uint32_t maxSets_;
     uint32_t maxAssoc_;
+    uint32_t lineShift_;
     uint64_t accesses_ = 0;
 
-    /** Per level (set count), per set: truncated LRU stack. */
-    std::vector<std::vector<std::vector<uint64_t>>> stacks_;
-    /** Per level: histogram of stack distances [0, maxAssoc). */
+    /** Line of the most recent reference (emptyTag before any). */
+    uint64_t lastLine_ = emptyTag;
+    /** References filtered as depth-0 hits on lastLine_. */
+    uint64_t mruRepeats_ = 0;
+    /** accessBlock scratch: the block's run-compacted lines. */
+    std::vector<uint64_t> compact_;
+
+    /**
+     * Per level (set count): flat tag array of sets x maxAssoc
+     * words, [set * maxAssoc + depth], emptyTag when vacant.
+     */
+    std::vector<std::vector<uint64_t>> tags_;
+    /**
+     * Per level: histogram of stack distances. maxAssoc + 1 bins;
+     * the last bin counts misses at every simulated associativity.
+     */
     std::vector<std::vector<uint64_t>> hist_;
 };
 

@@ -10,28 +10,44 @@ StackSim::StackSim(uint32_t line_bytes) : lineBytes_(line_bytes)
 {
     fatalIf(!isPowerOfTwo(line_bytes) || line_bytes < 4,
             "bad line size ", line_bytes);
+    lineShift_ = log2Floor(line_bytes);
 }
 
 void
 StackSim::access(uint64_t addr)
 {
     ++accesses_;
-    uint64_t line = addr / lineBytes_;
+    uint64_t line = addr >> lineShift_;
+    uint64_t *base = stack_.data();
+    size_t n = stack_.size();
 
-    // Find the stack distance; move-to-front on hit.
-    for (size_t d = 0; d < stack_.size(); ++d) {
-        if (stack_[d] == line) {
+    // Find the stack distance; move-to-front on hit. The hit path
+    // shifts [0, d) down one slot — half the traffic of the old
+    // erase-then-insert pair, and no reallocation.
+    for (size_t d = 0; d < n; ++d) {
+        if (base[d] == line) {
             if (hist_.size() <= d)
                 hist_.resize(d + 1, 0);
             ++hist_[d];
-            stack_.erase(stack_.begin() +
-                         static_cast<ptrdiff_t>(d));
-            stack_.insert(stack_.begin(), line);
+            for (size_t i = d; i > 0; --i)
+                base[i] = base[i - 1];
+            base[0] = line;
             return;
         }
     }
-    // Cold miss: infinite stack distance.
-    stack_.insert(stack_.begin(), line);
+    // Cold miss: infinite stack distance; the stack grows by one.
+    stack_.push_back(0);
+    base = stack_.data();
+    for (size_t i = n; i > 0; --i)
+        base[i] = base[i - 1];
+    base[0] = line;
+}
+
+void
+StackSim::accessBlock(const uint64_t *addrs, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        access(addrs[i]);
 }
 
 uint64_t

@@ -14,6 +14,7 @@
 #ifndef PICO_CACHE_STACK_SIM_HPP
 #define PICO_CACHE_STACK_SIM_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -36,6 +37,9 @@ class StackSim
 
     /** Sink-compatible overload. */
     void operator()(const trace::Access &a) { access(a.addr); }
+
+    /** Feed a span of addresses (one decoded columnar block). */
+    void accessBlock(const uint64_t *addrs, size_t n);
 
     /** Total references observed. */
     uint64_t accesses() const { return accesses_; }
@@ -71,6 +75,7 @@ class StackSim
 
   private:
     uint32_t lineBytes_;
+    uint32_t lineShift_ = 0;
     uint64_t accesses_ = 0;
     /** LRU stack, most recent first. */
     std::vector<uint64_t> stack_;

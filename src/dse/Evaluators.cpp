@@ -51,6 +51,56 @@ SimBank::simulate(const trace::TraceBuffer &buffer,
     });
 }
 
+void
+SimBank::simulate(const trace::ColumnarTraceBuffer &buffer,
+                  support::ThreadPool *pool)
+{
+    const size_t blocks = buffer.blockCount();
+    if (pool == nullptr || pool->workers() == 0) {
+        // Fused serial sweep: each block is decoded exactly once and
+        // the materialized address span feeds every line-size
+        // simulator back to back — the single-pass structure of the
+        // paper taken one level further (one pass over the *encoded*
+        // trace for the whole bank).
+        support::TimedSpan span("sweep.fused", "sweep");
+        trace::BlockScratch scratch;
+        for (size_t b = 0; b < blocks; ++b) {
+            trace::BlockView view = buffer.decodeBlock(b, scratch);
+            for (auto &sim : sims_)
+                sim.accessBlock(view.addrs, view.count);
+        }
+        PICO_METRIC_COUNT("sweep.runs", sims_.size());
+        if (support::metricsEnabled()) {
+            for (const auto &sim : sims_) {
+                support::metrics()
+                    .counter("sweep.line" +
+                             std::to_string(sim.lineBytes()) +
+                             ".accesses")
+                    .add(buffer.size());
+            }
+        }
+        return;
+    }
+    // One task per line size, as in the row-wise sweep; each task
+    // owns one simulator plus a private decode scratch, so tasks
+    // share only the immutable encoded blocks.
+    support::parallelFor(sims_.size(), pool, [&](size_t i) {
+        std::string line = std::to_string(sims_[i].lineBytes());
+        support::TimedSpan span("sweep.line" + line, "sweep");
+        trace::BlockScratch scratch;
+        for (size_t b = 0; b < blocks; ++b) {
+            trace::BlockView view = buffer.decodeBlock(b, scratch);
+            sims_[i].accessBlock(view.addrs, view.count);
+        }
+        PICO_METRIC_COUNT("sweep.runs", 1);
+        if (support::metricsEnabled()) {
+            support::metrics()
+                .counter("sweep.line" + line + ".accesses")
+                .add(buffer.size());
+        }
+    });
+}
+
 bool
 SimBank::covers(const cache::CacheConfig &config) const
 {
@@ -94,20 +144,21 @@ IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace,
                           support::ThreadPool *pool)
 {
     support::TimedSpan span("evaluate.icache", "evaluate");
-    // Capture the stream once; the trace modeler is inherently
-    // serial (granule state) and runs during capture, while the
-    // per-line-size simulator sweeps replay the buffer in parallel.
-    trace::TraceBuffer buffer;
+    // Capture the stream once, columnar-compressed; the trace
+    // modeler is inherently serial (granule state) and runs during
+    // capture, while the per-line-size simulator sweeps replay the
+    // encoded blocks afterwards.
     core::ItraceModeler modeler(granuleRefs_);
-    ref_instr_trace([&buffer, &modeler](const trace::Access &a) {
+    ref_instr_trace([this, &modeler](const trace::Access &a) {
         fatalIf(!a.isInstr,
                 "data reference in an instruction trace");
-        buffer(a);
+        trace_(a);
         modeler.access(a);
     });
-    PICO_METRIC_COUNT("evaluate.captured.accesses",
-                      buffer.accesses().size());
-    bank_->simulate(buffer, pool);
+    PICO_METRIC_COUNT("evaluate.captured.accesses", trace_.size());
+    PICO_METRIC_COUNT("evaluate.captured.bytes",
+                      trace_.encodedBytes());
+    bank_->simulate(trace_, pool);
     params_ = modeler.params();
     evaluated_ = true;
 }
@@ -151,14 +202,14 @@ DcacheEvaluator::evaluate(const TraceSource &ref_data_trace,
                           support::ThreadPool *pool)
 {
     support::TimedSpan span("evaluate.dcache", "evaluate");
-    trace::TraceBuffer buffer;
-    ref_data_trace([&buffer](const trace::Access &a) {
+    ref_data_trace([this](const trace::Access &a) {
         fatalIf(a.isInstr, "instruction reference in a data trace");
-        buffer(a);
+        trace_(a);
     });
-    PICO_METRIC_COUNT("evaluate.captured.accesses",
-                      buffer.accesses().size());
-    bank_->simulate(buffer, pool);
+    PICO_METRIC_COUNT("evaluate.captured.accesses", trace_.size());
+    PICO_METRIC_COUNT("evaluate.captured.bytes",
+                      trace_.encodedBytes());
+    bank_->simulate(trace_, pool);
     evaluated_ = true;
 }
 
@@ -197,15 +248,15 @@ UcacheEvaluator::evaluate(const TraceSource &ref_unified_trace,
                           support::ThreadPool *pool)
 {
     support::TimedSpan span("evaluate.ucache", "evaluate");
-    trace::TraceBuffer buffer;
     core::UtraceModeler modeler(granuleRefs_);
-    ref_unified_trace([&buffer, &modeler](const trace::Access &a) {
-        buffer(a);
+    ref_unified_trace([this, &modeler](const trace::Access &a) {
+        trace_(a);
         modeler.access(a);
     });
-    PICO_METRIC_COUNT("evaluate.captured.accesses",
-                      buffer.accesses().size());
-    bank_->simulate(buffer, pool);
+    PICO_METRIC_COUNT("evaluate.captured.accesses", trace_.size());
+    PICO_METRIC_COUNT("evaluate.captured.bytes",
+                      trace_.encodedBytes());
+    bank_->simulate(trace_, pool);
     iParams_ = modeler.instrParams();
     dParams_ = modeler.dataParams();
     evaluated_ = true;

@@ -23,6 +23,7 @@
 #include "dse/CacheSpace.hpp"
 #include "dse/Pareto.hpp"
 #include "support/ThreadPool.hpp"
+#include "trace/ColumnarTrace.hpp"
 #include "trace/TraceBuffer.hpp"
 
 namespace pico::dse
@@ -59,6 +60,18 @@ class SimBank
      * the other simulators or the schedule).
      */
     void simulate(const trace::TraceBuffer &buffer,
+                  support::ThreadPool *pool);
+
+    /**
+     * Run every line-size simulator over a columnar trace. Serial
+     * (null/zero-worker pool): the fused path decodes each block
+     * once and the decoded span feeds *all* simulators while it is
+     * hot. Parallel: one task per line size, each decoding into its
+     * own scratch. Either way each simulator sees the identical
+     * address sequence, so miss counts are bit-identical to the
+     * row-wise replay and independent of the schedule.
+     */
+    void simulate(const trace::ColumnarTraceBuffer &buffer,
                   support::ThreadPool *pool);
 
     /** Simulated reference-trace misses of a covered config. */
@@ -115,10 +128,18 @@ class IcacheEvaluator
     const SimBank &bank() const { return *bank_; }
     bool evaluated() const { return evaluated_; }
 
+    /** The captured (columnar-compressed) reference trace. */
+    const trace::ColumnarTraceBuffer &
+    capturedTrace() const
+    {
+        return trace_;
+    }
+
   private:
     CacheSpace space_;
     uint64_t granuleRefs_;
     std::unique_ptr<SimBank> bank_;
+    trace::ColumnarTraceBuffer trace_;
     core::ComponentParams params_;
     bool evaluated_ = false;
 };
@@ -142,9 +163,17 @@ class DcacheEvaluator
     const SimBank &bank() const { return *bank_; }
     bool evaluated() const { return evaluated_; }
 
+    /** The captured (columnar-compressed) reference trace. */
+    const trace::ColumnarTraceBuffer &
+    capturedTrace() const
+    {
+        return trace_;
+    }
+
   private:
     CacheSpace space_;
     std::unique_ptr<SimBank> bank_;
+    trace::ColumnarTraceBuffer trace_;
     bool evaluated_ = false;
 };
 
@@ -171,10 +200,18 @@ class UcacheEvaluator
     const SimBank &bank() const { return *bank_; }
     bool evaluated() const { return evaluated_; }
 
+    /** The captured (columnar-compressed) reference trace. */
+    const trace::ColumnarTraceBuffer &
+    capturedTrace() const
+    {
+        return trace_;
+    }
+
   private:
     CacheSpace space_;
     uint64_t granuleRefs_;
     std::unique_ptr<SimBank> bank_;
+    trace::ColumnarTraceBuffer trace_;
     core::ComponentParams iParams_;
     core::ComponentParams dParams_;
     bool evaluated_ = false;

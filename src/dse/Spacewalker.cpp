@@ -268,6 +268,15 @@ verifyClassInvariants(bool predicated, const ClassContext &ctx,
     verify::verifyAhhParams(mem.ucache().dataParams(),
                             options.uGranule,
                             cls + " unified data trace", diags);
+    // The captured columnar traces must decode back bit-for-bit:
+    // every simulated miss count in this class was derived from
+    // replaying these blocks.
+    verify::verifyColumnarTrace(mem.icache().capturedTrace(),
+                                cls + " instruction trace", diags);
+    verify::verifyColumnarTrace(mem.dcache().capturedTrace(),
+                                cls + " data trace", diags);
+    verify::verifyColumnarTrace(mem.ucache().capturedTrace(),
+                                cls + " unified trace", diags);
     const double iAccesses =
         static_cast<double>(mem.icache().bank().accesses());
     const double dAccesses =

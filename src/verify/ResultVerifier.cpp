@@ -208,4 +208,71 @@ verifyWalkResult(const dse::ExplorationResult &result,
     return diags.errorCount() == before;
 }
 
+bool
+verifyColumnarTrace(const trace::ColumnarTraceBuffer &buffer,
+                    const std::string &what, Diagnostics &diags)
+{
+    size_t before = diags.errorCount();
+    const size_t blocks = buffer.blockCount();
+    trace::BlockScratch scratch;
+    uint64_t decoded = 0;
+    uint64_t chain = trace::traceChecksumSeed;
+    for (size_t b = 0; b < blocks; ++b) {
+        try {
+            trace::BlockView view = buffer.decodeBlock(b, scratch);
+            if (b + 1 < blocks &&
+                view.count != buffer.blockCapacity())
+                diags.error("result.trace", what,
+                            "non-tail block " + std::to_string(b) +
+                                " holds " +
+                                std::to_string(view.count) +
+                                " of " +
+                                std::to_string(
+                                    buffer.blockCapacity()) +
+                                " records");
+            for (uint32_t i = 0; i < view.count; ++i)
+                chain = trace::traceChecksumStep(
+                    chain, view.kinds[i], view.addrs[i]);
+            decoded += view.count;
+        } catch (const std::exception &e) {
+            diags.error("result.trace", what,
+                        "block " + std::to_string(b) +
+                            " failed to decode: " + e.what());
+        }
+    }
+    if (decoded != buffer.size())
+        diags.error("result.trace", what,
+                    "decoded " + std::to_string(decoded) +
+                        " record(s) but the buffer captured " +
+                        std::to_string(buffer.size()));
+    else if (chain != buffer.checksum())
+        diags.error("result.trace", what,
+                    "chained record checksum does not match the "
+                    "capture-time checksum");
+    return diags.errorCount() == before;
+}
+
+bool
+verifyTraceFileV3(const std::string &path, Diagnostics &diags)
+{
+    size_t before = diags.errorCount();
+    try {
+        if (trace::sniffTraceFileVersion(path) != 3) {
+            diags.error("result.tracefile", path,
+                        "not a trace format v3 file");
+            return false;
+        }
+        // Lenient: corruption becomes findings, not exceptions.
+        trace::ColumnarTraceReader reader(
+            path, trace::TraceReadMode::Lenient);
+        reader.replay([](const trace::Access &) {});
+        const auto &s = reader.summary();
+        if (!s.clean())
+            diags.error("result.tracefile", path, s.describe());
+    } catch (const std::exception &e) {
+        diags.error("result.tracefile", path, e.what());
+    }
+    return diags.errorCount() == before;
+}
+
 } // namespace pico::verify

@@ -19,6 +19,14 @@
  *                     bounded by the walk size and consistent with
  *                     the failure log, per-machine dilations/cycles
  *                     present, finite and positive
+ *  - result.trace     a captured columnar trace decodes block by
+ *                     block: per-block checksums hold, block record
+ *                     counts are full except the tail, the chained
+ *                     whole-trace checksum matches, and the decoded
+ *                     record count equals the captured size
+ *  - result.tracefile a persisted trace format v3 file replays back
+ *                     cleanly (sealed header, valid index, every
+ *                     block decodes, file checksum matches)
  */
 
 #ifndef PICO_VERIFY_RESULT_VERIFIER_HPP
@@ -29,6 +37,7 @@
 
 #include "dse/Pareto.hpp"
 #include "dse/Spacewalker.hpp"
+#include "trace/ColumnarTrace.hpp"
 #include "verify/Diagnostics.hpp"
 
 namespace pico::verify
@@ -68,6 +77,25 @@ bool verifyCacheFile(const std::string &path, Diagnostics &diags);
  */
 bool verifyWalkResult(const dse::ExplorationResult &result,
                       uint64_t design_count, Diagnostics &diags);
+
+/**
+ * Decode every block of a captured columnar trace and check the
+ * encoding invariants: per-block checksums, full blocks except the
+ * tail, record-count and whole-trace checksum consistency.
+ * @return true when no error-severity finding was added
+ */
+bool verifyColumnarTrace(const trace::ColumnarTraceBuffer &buffer,
+                         const std::string &what,
+                         Diagnostics &diags);
+
+/**
+ * Replay a persisted trace format v3 file (leniently, so corruption
+ * is reported as findings rather than thrown) and check that it is
+ * clean: sealed header, valid index, every block decodes, record
+ * count and file checksum match.
+ * @return true when no error-severity finding was added
+ */
+bool verifyTraceFileV3(const std::string &path, Diagnostics &diags);
 
 } // namespace pico::verify
 
