@@ -6,11 +6,16 @@
  *
  * Usage: design_space_walk [app] [--jobs N] [--verify[=0|1]]
  *                          [--metrics-out FILE] [--trace-out FILE]
- *                          [--cache FILE]
+ *                          [--cache FILE] [--timeout-ms N]
  *   app      one of the suite names (default rasta)
  *   --jobs N worker threads for the walk (default 1 = serial,
  *            0 = one per hardware thread); results are identical
  *            for every N
+ *   --timeout-ms N  wall-clock budget for the walk; on expiry the
+ *            walk cancels cooperatively at the next checkpoint and
+ *            reports the designs it completed (partial results,
+ *            exit code 3). Pair with --cache so a rerun resumes
+ *            from the completed work instead of redoing it.
  *   --verify run the static verification passes (src/verify) at the
  *            walk's phase boundaries and print the findings;
  *            --verify=0 forces them off even in Debug builds. The
@@ -29,6 +34,7 @@
 #include <string>
 
 #include "dse/Spacewalker.hpp"
+#include "support/CancelToken.hpp"
 #include "support/Metrics.hpp"
 #include "support/RunReport.hpp"
 #include "support/Table.hpp"
@@ -66,11 +72,14 @@ main(int argc, char **argv)
     std::string app_name = "rasta";
     unsigned jobs = 1;
     int verify = -1;
+    uint64_t timeout_ms = 0;
     std::string metrics_out, trace_out, cache_path, value;
     for (int i = 1; i < argc; ++i) {
         if (flagValue(argc, argv, i, "--jobs", value)) {
             jobs = static_cast<unsigned>(
                 std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flagValue(argc, argv, i, "--timeout-ms", value)) {
+            timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
         } else if (std::string(argv[i]) == "--verify") {
             verify = 1;
         } else if (std::string(argv[i]).rfind("--verify=", 0) == 0) {
@@ -109,6 +118,12 @@ main(int argc, char **argv)
     opts.jobs = jobs;
     opts.verify = verify;
     opts.evaluationCachePath = cache_path;
+    // The token outlives the walk; the walker only borrows it.
+    support::CancelToken deadline =
+        timeout_ms != 0 ? support::CancelToken::afterMs(timeout_ms)
+                        : support::CancelToken();
+    if (timeout_ms != 0)
+        opts.cancel = &deadline;
     dse::Spacewalker walker(spaces, machines, opts);
 
     std::cout << "exploring " << machines.size() << " processors x "
@@ -168,6 +183,10 @@ main(int argc, char **argv)
         report.set("designs.evaluated", result.evaluatedDesigns);
         report.set("designs.failed",
                    static_cast<uint64_t>(result.failures.size()));
+        report.set("timeout.ms", timeout_ms);
+        report.set("deadline_exceeded",
+                   static_cast<uint64_t>(
+                       result.deadlineExceeded ? 1 : 0));
         report.set("pareto.systems",
                    static_cast<uint64_t>(sorted.size()));
         report.set("verify.errors",
@@ -193,6 +212,20 @@ main(int argc, char **argv)
                   << " warning(s)\n";
         if (!result.diagnostics.empty())
             std::cout << result.diagnostics.report();
+    }
+
+    // A blown --timeout-ms is its own outcome, distinct from both a
+    // clean walk (0) and a design failure (1): the results above are
+    // genuine but partial, and everything completed is in the cache.
+    if (result.deadlineExceeded) {
+        std::cout << "\nWARNING: walk timed out after " << timeout_ms
+                  << " ms with " << result.evaluatedDesigns
+                  << " design(s) evaluated — partial results above"
+                  << (cache_path.empty()
+                          ? ""
+                          : "; rerun with the same --cache to resume")
+                  << "\n";
+        return 3;
     }
 
     // A failing design is skipped and logged, not fatal: report

@@ -10,6 +10,16 @@
  *   input    a v1/v2 text or v3 columnar trace file (sniffed)
  *   --format target format (default v3)
  * Flags accept both `--flag value` and `--flag=value`.
+ *
+ * Exit codes distinguish *why* a conversion failed, so scripts can
+ * react (retry, alert, skip):
+ *   0  converted cleanly
+ *   1  other conversion failure
+ *   2  bad usage (arguments)
+ *   3  corrupt input (bad header/record/checksum — retrying is
+ *      pointless, the bytes are wrong)
+ *   4  I/O error (cannot open/read/write — the environment failed,
+ *      the file may be fine)
  */
 
 #include <iostream>
@@ -17,6 +27,7 @@
 
 #include "support/Logging.hpp"
 #include "trace/ColumnarTrace.hpp"
+#include "trace/TraceErrors.hpp"
 #include "trace/TraceFile.hpp"
 
 using namespace pico;
@@ -93,6 +104,12 @@ main(int argc, char **argv)
         std::cout << "converted " << records << " records: v" << from
                   << " " << input << " -> " << format << " " << output
                   << "\n";
+    } catch (const trace::TraceCorruptionError &e) {
+        std::cerr << "corrupt input: " << e.what() << "\n";
+        return 3;
+    } catch (const trace::TraceIoError &e) {
+        std::cerr << "I/O error: " << e.what() << "\n";
+        return 4;
     } catch (const std::exception &e) {
         std::cerr << "conversion failed: " << e.what() << "\n";
         return 1;

@@ -111,10 +111,14 @@ SinglePassSim::accessBlock(const uint64_t *addrs, size_t n)
 }
 
 void
-SinglePassSim::replay(const std::vector<trace::Access> &buffer)
+SinglePassSim::replay(const std::vector<trace::Access> &buffer,
+                      const support::CancelToken *cancel)
 {
-    for (const auto &a : buffer)
+    support::CancelCheck check(cancel);
+    for (const auto &a : buffer) {
+        check.tick("SinglePassSim::replay");
         access(a.addr);
+    }
 }
 
 uint64_t

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "cache/CacheConfig.hpp"
+#include "support/CancelToken.hpp"
 #include "trace/Access.hpp"
 
 namespace pico::cache
@@ -82,9 +83,13 @@ class SinglePassSim
      * Feed an entire buffered trace. One simulator's replay touches
      * only its own state, so replays of *different* simulators over
      * the same buffer may run concurrently — this is the unit of
-     * work of the parallel per-line-size Cheetah passes.
+     * work of the parallel per-line-size Cheetah passes. A cancel
+     * token is checked periodically; cancellation unwinds with
+     * CancelledError and leaves this simulator's counts partial
+     * (the caller discards it).
      */
-    void replay(const std::vector<trace::Access> &buffer);
+    void replay(const std::vector<trace::Access> &buffer,
+                const support::CancelToken *cancel = nullptr);
 
     /** Total references observed. */
     uint64_t accesses() const { return accesses_; }

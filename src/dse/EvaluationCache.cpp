@@ -164,6 +164,8 @@ EvaluationCache::getOrCompute(
 {
     size_t index = shardIndexOf(key);
     auto &shard = shards_[index];
+    std::shared_ptr<Inflight> flight;
+    bool leader = false;
     {
         support::MutexLock lock(shard.mutex);
         auto it = shard.table.find(key);
@@ -171,14 +173,57 @@ EvaluationCache::getOrCompute(
             recordHit(index, it->second.fromDisk);
             return it->second.values;
         }
+        auto fit = shard.inflight.find(key);
+        if (fit != shard.inflight.end()) {
+            flight = fit->second;
+        } else {
+            flight = std::make_shared<Inflight>();
+            shard.inflight.emplace(key, flight);
+            leader = true;
+        }
     }
-    // Compute outside the lock: evaluating a machine takes seconds,
-    // and holding a shard mutex through it would serialize every
-    // other key that hashes to the same shard.
     recordMiss(index);
-    auto values = compute();
-    ++computed_;
-    store(key, values);
+
+    if (!leader) {
+        // Single-flight follower: another thread is computing this
+        // key right now (a retried idempotent request). Wait for its
+        // result instead of duplicating the work.
+        support::MutexLock lock(flight->mutex);
+        while (!flight->done)
+            flight->cv.wait(lock.native());
+        if (flight->error)
+            std::rethrow_exception(flight->error);
+        return flight->values;
+    }
+
+    // Single-flight leader. Compute outside every lock: evaluating a
+    // machine takes seconds, and holding a shard mutex through it
+    // would serialize every other key that hashes to the same shard.
+    std::vector<double> values;
+    std::exception_ptr error;
+    try {
+        values = compute();
+        ++computed_;
+        // Store before releasing the in-flight slot, so a racer
+        // always finds either the slot or the stored entry — a
+        // successful key is computed at most once, ever.
+        store(key, values);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        support::MutexLock lock(shard.mutex);
+        shard.inflight.erase(key);
+    }
+    {
+        support::MutexLock lock(flight->mutex);
+        flight->done = true;
+        flight->values = values;
+        flight->error = error;
+    }
+    flight->cv.notify_all();
+    if (error)
+        std::rethrow_exception(error);
     return values;
 }
 

@@ -51,8 +51,10 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -84,9 +86,15 @@ class EvaluationCache
 
     /**
      * Fetch a metric vector, computing and storing it on a miss.
-     * The compute callback runs outside every lock; if two threads
-     * miss on the same key concurrently both compute, and the first
-     * store wins (computes are deterministic, so the values agree).
+     * The compute callback runs outside every lock. Computation is
+     * *single-flight*: when several threads miss on the same key
+     * concurrently (a request-retry storm hammering one idempotent
+     * key), exactly one thread runs the callback and the others
+     * block until its result is stored — a successful key is never
+     * computed twice. A compute that throws propagates to every
+     * waiter and releases the key, so a later call retries.
+     * Followers count as misses in stats() (they did miss the
+     * table); computed counts actual callback runs.
      * @param key unique metric identifier (no '|' or newlines)
      * @param compute evaluator invoked on a miss
      */
@@ -168,12 +176,30 @@ class EvaluationCache
         bool fromDisk = false;
     };
 
+    /**
+     * One in-flight computation (single-flight getOrCompute). The
+     * leader fills values/error and flips done; followers wait on
+     * the condition variable. Heap-allocated and shared so a
+     * follower can outlive the shard map entry.
+     */
+    struct Inflight
+    {
+        support::Mutex mutex;
+        std::condition_variable cv;
+        bool done PICO_GUARDED_BY(mutex) = false;
+        std::vector<double> values PICO_GUARDED_BY(mutex);
+        std::exception_ptr error PICO_GUARDED_BY(mutex);
+    };
+
     /** One lock-striped slice of the table. */
     struct Shard
     {
         mutable support::Mutex mutex;
         std::unordered_map<std::string, Entry> table
             PICO_GUARDED_BY(mutex);
+        /** Keys currently being computed by getOrCompute(). */
+        std::unordered_map<std::string, std::shared_ptr<Inflight>>
+            inflight PICO_GUARDED_BY(mutex);
     };
 
     size_t shardIndexOf(const std::string &key) const;

@@ -31,7 +31,8 @@ SimBank::access(const trace::Access &a)
 
 void
 SimBank::simulate(const trace::TraceBuffer &buffer,
-                  support::ThreadPool *pool)
+                  support::ThreadPool *pool,
+                  const support::CancelToken *cancel)
 {
     // One task per line size; each task owns exactly one simulator,
     // so no merge step is needed and the result cannot depend on
@@ -41,7 +42,7 @@ SimBank::simulate(const trace::TraceBuffer &buffer,
     support::parallelFor(sims_.size(), pool, [&](size_t i) {
         std::string line = std::to_string(sims_[i].lineBytes());
         support::TimedSpan span("sweep.line" + line, "sweep");
-        sims_[i].replay(buffer.accesses());
+        sims_[i].replay(buffer.accesses(), cancel);
         PICO_METRIC_COUNT("sweep.runs", 1);
         if (support::metricsEnabled()) {
             support::metrics()
@@ -53,7 +54,8 @@ SimBank::simulate(const trace::TraceBuffer &buffer,
 
 void
 SimBank::simulate(const trace::ColumnarTraceBuffer &buffer,
-                  support::ThreadPool *pool)
+                  support::ThreadPool *pool,
+                  const support::CancelToken *cancel)
 {
     const size_t blocks = buffer.blockCount();
     if (pool == nullptr || pool->workers() == 0) {
@@ -65,6 +67,8 @@ SimBank::simulate(const trace::ColumnarTraceBuffer &buffer,
         support::TimedSpan span("sweep.fused", "sweep");
         trace::BlockScratch scratch;
         for (size_t b = 0; b < blocks; ++b) {
+            if (cancel != nullptr)
+                cancel->checkpoint("SimBank::simulate");
             trace::BlockView view = buffer.decodeBlock(b, scratch);
             for (auto &sim : sims_)
                 sim.accessBlock(view.addrs, view.count);
@@ -89,6 +93,8 @@ SimBank::simulate(const trace::ColumnarTraceBuffer &buffer,
         support::TimedSpan span("sweep.line" + line, "sweep");
         trace::BlockScratch scratch;
         for (size_t b = 0; b < blocks; ++b) {
+            if (cancel != nullptr)
+                cancel->checkpoint("SimBank::simulate");
             trace::BlockView view = buffer.decodeBlock(b, scratch);
             sims_[i].accessBlock(view.addrs, view.count);
         }
@@ -141,7 +147,8 @@ IcacheEvaluator::IcacheEvaluator(CacheSpace space,
 
 void
 IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace,
-                          support::ThreadPool *pool)
+                          support::ThreadPool *pool,
+                          const support::CancelToken *cancel)
 {
     support::TimedSpan span("evaluate.icache", "evaluate");
     // Capture the stream once, columnar-compressed; the trace
@@ -149,7 +156,10 @@ IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace,
     // capture, while the per-line-size simulator sweeps replay the
     // encoded blocks afterwards.
     core::ItraceModeler modeler(granuleRefs_);
-    ref_instr_trace([this, &modeler](const trace::Access &a) {
+    support::CancelCheck check(cancel);
+    ref_instr_trace([this, &modeler,
+                     &check](const trace::Access &a) {
+        check.tick("IcacheEvaluator::evaluate");
         fatalIf(!a.isInstr,
                 "data reference in an instruction trace");
         trace_(a);
@@ -158,7 +168,7 @@ IcacheEvaluator::evaluate(const TraceSource &ref_instr_trace,
     PICO_METRIC_COUNT("evaluate.captured.accesses", trace_.size());
     PICO_METRIC_COUNT("evaluate.captured.bytes",
                       trace_.encodedBytes());
-    bank_->simulate(trace_, pool);
+    bank_->simulate(trace_, pool, cancel);
     params_ = modeler.params();
     evaluated_ = true;
 }
@@ -199,17 +209,20 @@ DcacheEvaluator::DcacheEvaluator(CacheSpace space)
 
 void
 DcacheEvaluator::evaluate(const TraceSource &ref_data_trace,
-                          support::ThreadPool *pool)
+                          support::ThreadPool *pool,
+                          const support::CancelToken *cancel)
 {
     support::TimedSpan span("evaluate.dcache", "evaluate");
-    ref_data_trace([this](const trace::Access &a) {
+    support::CancelCheck check(cancel);
+    ref_data_trace([this, &check](const trace::Access &a) {
+        check.tick("DcacheEvaluator::evaluate");
         fatalIf(a.isInstr, "instruction reference in a data trace");
         trace_(a);
     });
     PICO_METRIC_COUNT("evaluate.captured.accesses", trace_.size());
     PICO_METRIC_COUNT("evaluate.captured.bytes",
                       trace_.encodedBytes());
-    bank_->simulate(trace_, pool);
+    bank_->simulate(trace_, pool, cancel);
     evaluated_ = true;
 }
 
@@ -245,18 +258,22 @@ UcacheEvaluator::UcacheEvaluator(CacheSpace space,
 
 void
 UcacheEvaluator::evaluate(const TraceSource &ref_unified_trace,
-                          support::ThreadPool *pool)
+                          support::ThreadPool *pool,
+                          const support::CancelToken *cancel)
 {
     support::TimedSpan span("evaluate.ucache", "evaluate");
     core::UtraceModeler modeler(granuleRefs_);
-    ref_unified_trace([this, &modeler](const trace::Access &a) {
+    support::CancelCheck check(cancel);
+    ref_unified_trace([this, &modeler,
+                       &check](const trace::Access &a) {
+        check.tick("UcacheEvaluator::evaluate");
         trace_(a);
         modeler.access(a);
     });
     PICO_METRIC_COUNT("evaluate.captured.accesses", trace_.size());
     PICO_METRIC_COUNT("evaluate.captured.bytes",
                       trace_.encodedBytes());
-    bank_->simulate(trace_, pool);
+    bank_->simulate(trace_, pool, cancel);
     iParams_ = modeler.instrParams();
     dParams_ = modeler.dataParams();
     evaluated_ = true;

@@ -22,6 +22,7 @@
 #include "core/TraceModel.hpp"
 #include "dse/CacheSpace.hpp"
 #include "dse/Pareto.hpp"
+#include "support/CancelToken.hpp"
 #include "support/ThreadPool.hpp"
 #include "trace/ColumnarTrace.hpp"
 #include "trace/TraceBuffer.hpp"
@@ -57,10 +58,14 @@ class SimBank
      * independent read-only sweep each, concurrently on the given
      * pool (null/zero-worker pool = serial, identical results:
      * each simulator's state depends only on the trace, never on
-     * the other simulators or the schedule).
+     * the other simulators or the schedule). A cancel token is
+     * checked at sweep granularity; cancellation unwinds with
+     * CancelledError and leaves the bank unusable for misses()
+     * queries (the caller discards it).
      */
     void simulate(const trace::TraceBuffer &buffer,
-                  support::ThreadPool *pool);
+                  support::ThreadPool *pool,
+                  const support::CancelToken *cancel = nullptr);
 
     /**
      * Run every line-size simulator over a columnar trace. Serial
@@ -69,10 +74,12 @@ class SimBank
      * hot. Parallel: one task per line size, each decoding into its
      * own scratch. Either way each simulator sees the identical
      * address sequence, so miss counts are bit-identical to the
-     * row-wise replay and independent of the schedule.
+     * row-wise replay and independent of the schedule. The cancel
+     * token is checked once per encoded block.
      */
     void simulate(const trace::ColumnarTraceBuffer &buffer,
-                  support::ThreadPool *pool);
+                  support::ThreadPool *pool,
+                  const support::CancelToken *cancel = nullptr);
 
     /** Simulated reference-trace misses of a covered config. */
     double misses(const cache::CacheConfig &config) const;
@@ -107,10 +114,13 @@ class IcacheEvaluator
     /**
      * One pass over the reference instruction trace. The per-line-
      * size simulator sweeps run concurrently on `pool` (null =
-     * serial; results are identical either way).
+     * serial; results are identical either way). A cancel token
+     * aborts mid-capture or mid-sweep with CancelledError; the
+     * evaluator then stays in the not-evaluated state.
      */
     void evaluate(const TraceSource &ref_instr_trace,
-                  support::ThreadPool *pool = nullptr);
+                  support::ThreadPool *pool = nullptr,
+                  const support::CancelToken *cancel = nullptr);
 
     /**
      * Misses of a configuration at a dilation; dilation 1 returns
@@ -152,7 +162,8 @@ class DcacheEvaluator
 
     /** One pass over the reference data trace. */
     void evaluate(const TraceSource &ref_data_trace,
-                  support::ThreadPool *pool = nullptr);
+                  support::ThreadPool *pool = nullptr,
+                  const support::CancelToken *cancel = nullptr);
 
     /** Misses of a configuration (dilation independent). */
     double misses(const cache::CacheConfig &config) const;
@@ -187,7 +198,8 @@ class UcacheEvaluator
 
     /** One pass over the reference unified trace. */
     void evaluate(const TraceSource &ref_unified_trace,
-                  support::ThreadPool *pool = nullptr);
+                  support::ThreadPool *pool = nullptr,
+                  const support::CancelToken *cancel = nullptr);
 
     double misses(const cache::CacheConfig &config,
                   double dilation) const;

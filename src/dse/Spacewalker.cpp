@@ -27,11 +27,12 @@ MemoryWalker::MemoryWalker(MemorySpaces spaces, StallModel stalls,
 void
 MemoryWalker::evaluate(const TraceSource &instr_trace,
                        const TraceSource &data_trace,
-                       const TraceSource &unified_trace)
+                       const TraceSource &unified_trace,
+                       const support::CancelToken *cancel)
 {
-    icacheEval_.evaluate(instr_trace, pool_);
-    dcacheEval_.evaluate(data_trace, pool_);
-    ucacheEval_.evaluate(unified_trace, pool_);
+    icacheEval_.evaluate(instr_trace, pool_, cancel);
+    dcacheEval_.evaluate(data_trace, pool_, cancel);
+    ucacheEval_.evaluate(unified_trace, pool_, cancel);
 }
 
 double
@@ -48,7 +49,8 @@ MemoryWalker::stallCycles(const cache::CacheConfig &icache,
 
 ParetoSet
 MemoryWalker::pareto(double dilation, uint32_t dcache_ports,
-                     FailureLog *failures) const
+                     FailureLog *failures,
+                     const support::CancelToken *cancel) const
 {
     support::TimedSpan span("memory.pareto", "walk");
     // Subsystem Pareto fronts first: with additive cost and additive
@@ -103,6 +105,8 @@ MemoryWalker::pareto(double dilation, uint32_t dcache_ports,
                 configs.size(), pool_, [&](size_t i) {
                     const auto &cfg = configs[i];
                     std::string id = prefix + cfg.name();
+                    if (cancel != nullptr)
+                        cancel->checkpoint("MemoryWalker::pareto");
                     if (!failures) {
                         slots[i] = Candidate{cfg, id, cfg.areaCost(),
                                              stall_cycles(cfg)};
@@ -113,6 +117,8 @@ MemoryWalker::pareto(double dilation, uint32_t dcache_ports,
                                              stall_cycles(cfg)};
                     } catch (const PanicError &) {
                         throw; // internal bugs always propagate
+                    } catch (const CancelledError &) {
+                        throw; // a deadline is not a design failure
                     } catch (const std::exception &e) {
                         errors[i] = e.what();
                     }
@@ -179,7 +185,10 @@ Spacewalker::Spacewalker(MemorySpaces spaces,
                          std::vector<std::string> machine_names,
                          Options options)
     : spaces_(spaces), machineNames_(std::move(machine_names)),
-      options_(options), cache_(options.evaluationCachePath)
+      options_(options),
+      cache_(options.sharedCache != nullptr
+                 ? std::string()
+                 : options.evaluationCachePath)
 {
     fatalIf(machineNames_.empty(), "no machines to explore");
 }
@@ -304,6 +313,7 @@ Spacewalker::explore(const ir::Program &prog)
     using machine::MachineDesc;
 
     const size_t n = machineNames_.size();
+    const support::CancelToken *cancel = options_.cancel;
     support::TimedSpan exploreSpan("walk.explore", "walk");
     support::TraceRecorder::instance().nameThisThread("walk-main");
     support::ThreadPool pool(
@@ -364,6 +374,11 @@ Spacewalker::explore(const ir::Program &prog)
             continue;
         auto ctx = std::make_unique<ClassContext>();
         try {
+            // A cancelled class setup is stored as the class error:
+            // every design of the class then unwinds through the
+            // phase-3 CancelledError handler into stage "deadline".
+            if (cancel != nullptr)
+                cancel->checkpoint("Spacewalker::reference");
             std::string ref_name = options_.referenceMachine;
             if (plan.predicated && ref_name.back() != 'p')
                 ref_name += 'p';
@@ -388,7 +403,7 @@ Spacewalker::explore(const ir::Program &prog)
             ctx->memory->evaluate(
                 source(trace::TraceKind::Instruction),
                 source(trace::TraceKind::Data),
-                source(trace::TraceKind::Unified));
+                source(trace::TraceKind::Unified), cancel);
         } catch (const PanicError &) {
             throw; // internal bugs always propagate
         } catch (const std::exception &) {
@@ -426,6 +441,8 @@ Spacewalker::explore(const ir::Program &prog)
         const char *stage = "machine-description";
         try {
             support::faultPoint("Spacewalker::evaluateDesign");
+            if (cancel != nullptr)
+                cancel->checkpoint("Spacewalker::design");
             if (plan.descError)
                 std::rethrow_exception(plan.descError);
             stage = "reference-setup";
@@ -441,7 +458,9 @@ Spacewalker::explore(const ir::Program &prog)
                               std::to_string(prog.seed) + ";" + name;
             for (uint32_t ports : spaces_.dcache.portCounts)
                 key += ";p" + std::to_string(ports);
-            auto metrics = cache_.getOrCompute(key, [&]() {
+            auto metrics = cacheRef().getOrCompute(key, [&]() {
+                if (cancel != nullptr)
+                    cancel->checkpoint("Spacewalker::metrics");
                 auto build = workloads::buildFor(cls.prog,
                                                  *plan.mdes);
                 std::vector<double> v;
@@ -471,7 +490,7 @@ Spacewalker::explore(const ir::Program &prog)
                 uint32_t ports = spaces_.dcache.portCounts[pi];
                 double cycles = metrics[2 + pi];
                 ParetoSet mem = cls.memory->pareto(
-                    out.dilation, ports, &out.failures);
+                    out.dilation, ports, &out.failures, cancel);
                 for (const auto &hierarchy : mem.points()) {
                     DesignPoint sys;
                     sys.id = out.processor.id + "+" + hierarchy.id;
@@ -484,6 +503,15 @@ Spacewalker::explore(const ir::Program &prog)
             PICO_METRIC_COUNT("walk.designs.ok", 1);
         } catch (const PanicError &) {
             throw; // internal bugs always propagate
+        } catch (const CancelledError &e) {
+            // A deadline is an answer, not a bug: record the claimed
+            // design (keeping the conservation invariant — failures
+            // plus evaluated covers every design) and let the
+            // remaining tasks drain through their own checkpoints.
+            // Deliberately not subject to haltOnFailure.
+            PICO_METRIC_COUNT("walk.designs.deadline", 1);
+            out.failures.record(name, "deadline", e.what());
+            return;
         } catch (const std::exception &e) {
             if (options_.haltOnFailure)
                 throw;
@@ -502,7 +530,7 @@ Spacewalker::explore(const ir::Program &prog)
         if (options_.checkpointEvery != 0 &&
             done % options_.checkpointEvery == 0) {
             PICO_METRIC_COUNT("walk.checkpoints", 1);
-            cache_.flush();
+            cacheRef().flush();
         }
     });
     phase.reset();
@@ -526,13 +554,21 @@ Spacewalker::explore(const ir::Program &prog)
             result.systems.insertPoint(sys);
         ++result.evaluatedDesigns;
     }
-    cache_.flush();
+    result.deadlineExceeded =
+        cancel != nullptr && cancel->cancelled();
+    // Completed designs stay cached even when the walk was cut
+    // short: the flush below is what makes a retried request after a
+    // deadline cheaper than the first attempt.
+    cacheRef().flush();
     phase.reset();
 
     if (verifying) {
         support::TimedSpan span("walk.verify.result", "verify");
         verify::verifyWalkResult(result, n, diags);
-        if (!options_.evaluationCachePath.empty())
+        // A shared cache's file is flushed by *other* walks too;
+        // only the owner can verify it race-free.
+        if (!options_.evaluationCachePath.empty() &&
+            options_.sharedCache == nullptr)
             verify::verifyCacheFile(options_.evaluationCachePath,
                                     diags);
     }

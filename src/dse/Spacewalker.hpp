@@ -59,11 +59,14 @@ class MemoryWalker
     /**
      * Evaluate all three subsystems from reference traces, one pass
      * each. With a thread pool attached, the per-line-size Cheetah
-     * sweeps of each subsystem run concurrently.
+     * sweeps of each subsystem run concurrently. A cancel token
+     * aborts mid-pass with CancelledError; the walker is then only
+     * partially evaluated and must be discarded.
      */
     void evaluate(const TraceSource &instr_trace,
                   const TraceSource &data_trace,
-                  const TraceSource &unified_trace);
+                  const TraceSource &unified_trace,
+                  const support::CancelToken *cancel = nullptr);
 
     /**
      * Attach (or detach, with nullptr) the pool used by evaluate()
@@ -92,9 +95,14 @@ class MemoryWalker
      *        evaluation fails is recorded there and skipped instead
      *        of aborting the whole Pareto construction; without a
      *        log the error propagates (the historical behavior)
+     * @param cancel when given, checked per subspace configuration;
+     *        cancellation always propagates as CancelledError, even
+     *        with a failure log (a deadline is not a design failure)
      */
     ParetoSet pareto(double dilation, uint32_t dcache_ports = 0,
-                     FailureLog *failures = nullptr) const;
+                     FailureLog *failures = nullptr,
+                     const support::CancelToken *cancel =
+                         nullptr) const;
 
     const IcacheEvaluator &icache() const { return icacheEval_; }
     const DcacheEvaluator &dcache() const { return dcacheEval_; }
@@ -130,6 +138,15 @@ struct ExplorationResult
      * bit-identical to an unverified one.
      */
     verify::Diagnostics diagnostics;
+    /**
+     * True when the walk was cut short by Options::cancel (explicit
+     * cancel or expired deadline). The Pareto sets cover only the
+     * designs that finished before the cut; every design the
+     * deadline claimed is in the FailureLog under stage "deadline",
+     * so the conservation invariant (failures + evaluated accounts
+     * for every design) holds for partial walks too.
+     */
+    bool deadlineExceeded = false;
 
     /** True when every design of the walk evaluated cleanly. */
     bool complete() const { return failures.empty(); }
@@ -186,6 +203,29 @@ class Spacewalker
          * warn(); they never change the walk's results.
          */
         int verify = -1;
+        /**
+         * Share an externally owned evaluation cache instead of
+         * constructing one from evaluationCachePath (ignored when
+         * this is set, except as documentation of where the owner
+         * persists it). The server runs many concurrent walks
+         * against *one* crash-safe cache this way — two private
+         * caches over the same file would overwrite each other's
+         * entries at save time. The cache must outlive the walker.
+         */
+        EvaluationCache *sharedCache = nullptr;
+        /**
+         * Cooperative cancellation (null = run to completion). When
+         * the token fires — an explicit cancel() or an expired
+         * deadline — in-flight designs unwind at their next
+         * checkpoint, untouched designs are skipped, and explore()
+         * returns a *partial* result: completed designs keep their
+         * Pareto points and cached metrics, claimed designs land in
+         * the FailureLog under stage "deadline", and
+         * ExplorationResult::deadlineExceeded is set. The token must
+         * outlive explore(). Cancellation bypasses haltOnFailure (a
+         * deadline is an answer, not a bug to halt on).
+         */
+        const support::CancelToken *cancel = nullptr;
     };
 
     Spacewalker(MemorySpaces spaces,
@@ -209,9 +249,22 @@ class Spacewalker
     const MemoryWalker &memoryWalker() const;
 
     /** The evaluation cache (hit/miss statistics, persistence). */
-    const EvaluationCache &evaluationCache() const { return cache_; }
+    const EvaluationCache &
+    evaluationCache() const
+    {
+        return options_.sharedCache != nullptr ? *options_.sharedCache
+                                               : cache_;
+    }
 
   private:
+    /** The cache in use: the shared one when attached, else ours. */
+    EvaluationCache &
+    cacheRef()
+    {
+        return options_.sharedCache != nullptr ? *options_.sharedCache
+                                               : cache_;
+    }
+
     MemorySpaces spaces_;
     std::vector<std::string> machineNames_;
     Options options_;

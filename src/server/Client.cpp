@@ -1,0 +1,125 @@
+#include "server/Client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/Logging.hpp"
+
+namespace pico::server
+{
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      backoff_(Rng::forStream(options_.seed, options_.stream),
+               options_.backoffBaseMs, options_.backoffCapMs)
+{
+    fatalIf(options_.socketPath.empty(),
+            "client needs a socket path");
+    fatalIf(options_.maxAttempts == 0,
+            "client needs >= 1 attempt");
+}
+
+Client::~Client()
+{
+    disconnect();
+}
+
+void
+Client::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::ensureConnected()
+{
+    if (fd_ >= 0)
+        return true;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.size() >= sizeof(addr.sun_path))
+        fatal("socket path too long: ", options_.socketPath);
+    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+bool
+Client::attempt(const Request &req, Response &resp)
+{
+    if (!ensureConnected())
+        return false;
+    if (!writeFrame(fd_, encodeRequest(req))) {
+        disconnect();
+        return false;
+    }
+    std::string payload;
+    if (!readFrame(fd_, payload)) {
+        disconnect();
+        return false;
+    }
+    std::string error;
+    if (!decodeResponse(payload, resp, error)) {
+        // A server speaking an unknown dialect will not improve on
+        // retry within this call; surface it as a failure.
+        disconnect();
+        resp = Response();
+        resp.status = Status::Failed;
+        resp.error = "undecodable response: " + error;
+        return true;
+    }
+    return true;
+}
+
+Response
+Client::call(const Request &req)
+{
+    // Pin the idempotency key across attempts: THE point of a retry
+    // is that the server recognizes it as the same request.
+    Request keyed = req;
+    if (keyed.key.empty())
+        keyed.key = keyed.idempotencyKey();
+
+    backoff_.reset();
+    Response last;
+    last.status = Status::Shed;
+    last.error = "no attempts made";
+    for (uint32_t a = 0; a < options_.maxAttempts; ++a) {
+        if (a > 0) {
+            ++retries_;
+            backoff_.sleep(last.retryAfterMs);
+        }
+        Response resp;
+        if (!attempt(keyed, resp)) {
+            last = Response();
+            last.status = Status::Shed;
+            last.error = "transport failure";
+            continue;
+        }
+        if (resp.status == Status::Shed) {
+            ++shedSeen_;
+            last = resp;
+            continue;
+        }
+        return resp; // terminal: ok / deadline / failed / bad_request
+    }
+    return last;
+}
+
+} // namespace pico::server

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Evaluation-server client with retry, backoff and idempotent keys.
+ *
+ * The client owns the *polite* half of the overload contract: when
+ * the server sheds (or the connection drops), it retries with full-
+ * jitter exponential backoff — seeded through Rng::forStream, so a
+ * load test's retry timing is reproducible and concurrent clients
+ * never thunder in phase — and it retries the *same idempotency
+ * key*, so work completed before a failure is answered from the
+ * server's memo and cache instead of being redone.
+ *
+ * Terminal statuses (ok, deadline_exceeded, failed, bad_request) are
+ * returned to the caller as-is: retrying them is either pointless or
+ * the caller's policy decision, not the transport's.
+ */
+
+#ifndef PICO_SERVER_CLIENT_HPP
+#define PICO_SERVER_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "server/Protocol.hpp"
+#include "support/Backoff.hpp"
+
+namespace pico::server
+{
+
+/** Client-side retry policy and identity. */
+struct ClientOptions
+{
+    /** Path of the server's Unix domain socket. */
+    std::string socketPath;
+    /** Attempts per call (first try + retries). */
+    uint32_t maxAttempts = 8;
+    /** Backoff base delay (ms); doubles per retry, full jitter. */
+    uint64_t backoffBaseMs = 2;
+    /** Backoff cap (ms). */
+    uint64_t backoffCapMs = 250;
+    /** Experiment seed for the jitter stream. */
+    uint64_t seed = 1;
+    /** Client index (distinct streams stay out of phase). */
+    uint64_t stream = 0;
+};
+
+/** One connection to the evaluation server (not thread-safe; one
+ *  client per thread, distinguished by `stream`). */
+class Client
+{
+  public:
+    explicit Client(ClientOptions options);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send a request and return its terminal response, retrying
+     * shed responses and transport failures with backoff. When the
+     * attempt budget runs out, the last shed/transport response is
+     * returned (status Shed).
+     */
+    Response call(const Request &req);
+
+    /** Retries performed since construction (attempts - calls). */
+    uint64_t retries() const { return retries_; }
+    /** Shed responses observed (including retried ones). */
+    uint64_t shedSeen() const { return shedSeen_; }
+
+  private:
+    /** Ensure a connected socket; false when connect fails. */
+    bool ensureConnected();
+    void disconnect();
+    /** One attempt on the wire; false on transport failure. */
+    bool attempt(const Request &req, Response &resp);
+
+    ClientOptions options_;
+    support::Backoff backoff_;
+    int fd_ = -1;
+    uint64_t retries_ = 0;
+    uint64_t shedSeen_ = 0;
+};
+
+} // namespace pico::server
+
+#endif // PICO_SERVER_CLIENT_HPP

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Wire protocol of the evaluation server.
+ *
+ * Requests and responses travel as *length-prefixed text frames*: a
+ * 4-byte little-endian payload length followed by the payload, which
+ * is a list of newline-separated `key value` lines opened by a
+ * version tag. Text keeps the protocol greppable and trivially
+ * extensible (unknown keys are skipped, so old clients survive new
+ * servers and vice versa); the length prefix keeps framing exact
+ * under partial reads and concurrent writers.
+ *
+ * The protocol is *deliberate about failure*: every response carries
+ * a status that distinguishes success, load shedding (retry later,
+ * with a hint), a blown deadline (partial work; retrying hits the
+ * cache), a request the server refused to parse (retrying is
+ * pointless), and an evaluation failure (isolated to this request).
+ */
+
+#ifndef PICO_SERVER_PROTOCOL_HPP
+#define PICO_SERVER_PROTOCOL_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pico::server
+{
+
+/** Version tag opening every request payload. */
+inline constexpr const char *requestTag = "picoeval-req-v1";
+/** Version tag opening every response payload. */
+inline constexpr const char *responseTag = "picoeval-resp-v1";
+
+/** Upper bound on one frame's payload (defensive framing limit). */
+inline constexpr uint32_t maxFrameBytes = 1u << 20;
+
+/** One evaluation (or stats/ping) request. */
+struct Request
+{
+    /** "eval", "stats" or "ping". */
+    std::string type = "eval";
+    /** Application name (suite member, see workloads::specByName). */
+    std::string app = "rasta";
+    /** Comma-separated machine names (the design subset to walk). */
+    std::string machines = "1111";
+    /** Block-entry budget of the walk's reference traces. */
+    uint64_t traceBlocks = 4000;
+    /** Per-request deadline in ms (0 = none). */
+    uint64_t deadlineMs = 0;
+    /**
+     * Idempotency key: a retry carrying the key of a previously
+     * *completed* request is answered from the server's result memo
+     * without re-walking. Empty = derived from the request fields,
+     * so plain retries are idempotent by default.
+     */
+    std::string key;
+
+    /** The effective idempotency key (key, or derived). */
+    std::string idempotencyKey() const;
+};
+
+/** Terminal status of one request. */
+enum class Status
+{
+    Ok,
+    /** Admission control refused the request; retry after a delay. */
+    Shed,
+    /** Deadline fired mid-evaluation; partial results were cached. */
+    DeadlineExceeded,
+    /** The evaluation itself failed (isolated to this request). */
+    Failed,
+    /** The server could not parse the request; do not retry. */
+    BadRequest,
+};
+
+/** Wire spelling of a status. */
+const char *statusName(Status s);
+
+/** One response. */
+struct Response
+{
+    Status status = Status::Ok;
+    /** Human-readable reason for non-Ok statuses. */
+    std::string error;
+    /** Backoff floor suggested with Status::Shed (ms). */
+    uint64_t retryAfterMs = 0;
+    /**
+     * Result metrics, sorted by key. Eval responses carry
+     * designs.evaluated / designs.failed / pareto.systems plus
+     * machine.<name>.dilation|cycles per evaluated machine; stats
+     * responses carry the server counters.
+     */
+    std::map<std::string, double> values;
+};
+
+/** @name Payload encoding (framing-independent, testable inline)
+ *  @{ */
+std::string encodeRequest(const Request &req);
+std::string encodeResponse(const Response &resp);
+
+/**
+ * Parse a request payload.
+ * @return false when the payload is not a well-formed request (bad
+ *         version tag or malformed line); `error` says why
+ */
+bool decodeRequest(const std::string &payload, Request &req,
+                   std::string &error);
+
+/** Parse a response payload; false on malformed input. */
+bool decodeResponse(const std::string &payload, Response &resp,
+                    std::string &error);
+/** @} */
+
+/** @name Frame I/O over a connected stream socket
+ *  @{ */
+
+/**
+ * Write one length-prefixed frame. @return false on I/O error (the
+ * peer vanished mid-write; never raises SIGPIPE).
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Read one length-prefixed frame.
+ * @return false on EOF before a complete frame, oversized length, or
+ *         I/O error
+ */
+bool readFrame(int fd, std::string &payload);
+/** @} */
+
+} // namespace pico::server
+
+#endif // PICO_SERVER_PROTOCOL_HPP

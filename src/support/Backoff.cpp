@@ -1,0 +1,17 @@
+#include "support/Backoff.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace pico::support
+{
+
+void
+sleepForMs(uint64_t ms)
+{
+    if (ms == 0)
+        return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace pico::support

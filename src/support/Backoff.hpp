@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Seeded exponential backoff with jitter — the only retry pacing the
+ * serving layer is allowed to use.
+ *
+ * Naive retry loops (`while (!ok) { sleep(fixed); retry; }`) turn a
+ * momentary overload into a synchronized retry storm: every shed
+ * client comes back at the same instant and the server sheds them
+ * all again. The standard fix is exponential backoff with *full
+ * jitter*: attempt k waits a uniformly random duration in
+ * [0, min(cap, base * 2^k)], which decorrelates the herd while
+ * keeping the expected load decay exponential.
+ *
+ * Determinism: the jitter is drawn from the library's seeded Rng —
+ * clients derive theirs via Rng::forStream(seed, client_index) — so
+ * a load run's retry schedule is exactly reproducible from its seed.
+ *
+ * Lint rule `raw-sleep` (tools/picoeval-lint.py) forbids direct
+ * sleep calls in src/server; pacing goes through this helper.
+ */
+
+#ifndef PICO_SUPPORT_BACKOFF_HPP
+#define PICO_SUPPORT_BACKOFF_HPP
+
+#include <cstdint>
+
+#include "support/Random.hpp"
+
+namespace pico::support
+{
+
+/** Block the calling thread for `ms` milliseconds (steady clock). */
+void sleepForMs(uint64_t ms);
+
+/** Full-jitter exponential backoff policy for one retry sequence. */
+class Backoff
+{
+  public:
+    /**
+     * @param rng seeded jitter source (use Rng::forStream so
+     *        parallel clients never share a stream)
+     * @param base_ms first attempt's maximum delay
+     * @param cap_ms upper bound on any delay
+     */
+    Backoff(Rng rng, uint64_t base_ms, uint64_t cap_ms)
+        : rng_(rng), baseMs_(base_ms), capMs_(cap_ms)
+    {
+        panicIf(base_ms == 0, "backoff base must be positive");
+        panicIf(cap_ms < base_ms, "backoff cap below base");
+    }
+
+    /**
+     * Delay for the next attempt: uniform in [0, min(cap, base*2^k)]
+     * where k is the number of nextDelayMs() calls since reset(),
+     * never below `floor_ms` (a server's retry-after hint).
+     */
+    uint64_t
+    nextDelayMs(uint64_t floor_ms = 0)
+    {
+        uint64_t ceiling = baseMs_;
+        for (uint32_t k = 0; k < attempt_ && ceiling < capMs_; ++k)
+            ceiling *= 2;
+        if (ceiling > capMs_)
+            ceiling = capMs_;
+        ++attempt_;
+        uint64_t jittered = rng_.below(ceiling + 1);
+        return jittered > floor_ms ? jittered : floor_ms;
+    }
+
+    /** Sleep for nextDelayMs(floor_ms); returns the delay slept. */
+    uint64_t
+    sleep(uint64_t floor_ms = 0)
+    {
+        uint64_t delay = nextDelayMs(floor_ms);
+        sleepForMs(delay);
+        return delay;
+    }
+
+    /** Attempts since construction or the last reset(). */
+    uint32_t attempts() const { return attempt_; }
+
+    /** Start a fresh sequence (after a success). */
+    void reset() { attempt_ = 0; }
+
+  private:
+    Rng rng_;
+    uint64_t baseMs_;
+    uint64_t capMs_;
+    uint32_t attempt_ = 0;
+};
+
+} // namespace pico::support
+
+#endif // PICO_SUPPORT_BACKOFF_HPP

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Bounded MPMC queue with an admission watermark — the only queue
+ * the serving layer is allowed to use.
+ *
+ * An unbounded queue turns overload into unbounded memory growth and
+ * unbounded latency: every queued request is admitted work the server
+ * has promised to do, so under sustained overload the promise grows
+ * without limit and p99 follows it. This queue makes the overload
+ * policy explicit instead:
+ *
+ *  - *capacity* is a hard bound — tryPush() never blocks and never
+ *    allocates past it;
+ *  - the *watermark* (<= capacity) is the load-shedding threshold:
+ *    tryPush() reports AtWatermark once depth reaches it, and the
+ *    caller sheds (reject with retry-after) rather than queueing.
+ *    The gap between watermark and capacity absorbs racing pushes
+ *    that passed the check together;
+ *  - close() stops admission permanently; pop() drains what was
+ *    admitted and then returns false, so consumers terminate.
+ *    closeAndDrain() additionally hands back the unconsumed items so
+ *    the caller can answer each one (a drain deadline must not
+ *    silently drop admitted requests).
+ *
+ * Lint rule `unbounded-queue` (tools/picoeval-lint.py) forbids raw
+ * std::queue/std::deque in src/server — admission control is not
+ * optional there.
+ */
+
+#ifndef PICO_SUPPORT_BOUNDED_QUEUE_HPP
+#define PICO_SUPPORT_BOUNDED_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+// picoeval-lint: allow(unbounded-queue)
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "support/Logging.hpp"
+#include "support/ThreadAnnotations.hpp"
+
+namespace pico::support
+{
+
+/** Outcome of a BoundedQueue push attempt. */
+enum class QueuePush
+{
+    /** Item accepted below the watermark. */
+    Ok,
+    /** Rejected: depth at/over the watermark (shed the request). */
+    AtWatermark,
+    /** Rejected: the hard capacity bound (should be rare — the
+     *  watermark sheds first). */
+    Full,
+    /** Rejected: the queue is closed (draining/shutting down). */
+    Closed,
+};
+
+/** Fixed-capacity FIFO with watermark admission and closed drain. */
+template <typename T> class BoundedQueue
+{
+  public:
+    /**
+     * @param capacity hard bound on queued items (> 0)
+     * @param watermark shed threshold; 0 means "= capacity"
+     */
+    explicit BoundedQueue(size_t capacity, size_t watermark = 0)
+        : capacity_(capacity),
+          watermark_(watermark == 0 ? capacity : watermark)
+    {
+        fatalIf(capacity_ == 0, "bounded queue needs capacity > 0");
+        fatalIf(watermark_ > capacity_,
+                "queue watermark ", watermark_, " exceeds capacity ",
+                capacity_);
+    }
+
+    /** Non-blocking push; see QueuePush for the rejection reasons. */
+    QueuePush
+    tryPush(T item)
+    {
+        {
+            MutexLock lock(mutex_);
+            if (closed_)
+                return QueuePush::Closed;
+            if (items_.size() >= watermark_) {
+                return items_.size() >= capacity_
+                           ? QueuePush::Full
+                           : QueuePush::AtWatermark;
+            }
+            items_.push_back(std::move(item));
+            if (items_.size() > peakDepth_)
+                peakDepth_ = items_.size();
+        }
+        consumerCv_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /**
+     * Blocking pop. @return false when the queue is closed and
+     * drained — the consumer's signal to exit.
+     */
+    bool
+    pop(T &out)
+    {
+        MutexLock lock(mutex_);
+        while (items_.empty() && !closed_)
+            consumerCv_.wait(lock.native());
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /** Stop admission; consumers drain the remaining items. */
+    void
+    close()
+    {
+        {
+            MutexLock lock(mutex_);
+            closed_ = true;
+        }
+        consumerCv_.notify_all();
+    }
+
+    /**
+     * Stop admission AND take the unconsumed items away from the
+     * consumers, so the caller can answer each abandoned request.
+     * Items a consumer already popped are not affected.
+     */
+    std::vector<T>
+    closeAndDrain()
+    {
+        std::vector<T> leftover;
+        {
+            MutexLock lock(mutex_);
+            closed_ = true;
+            leftover.reserve(items_.size());
+            while (!items_.empty()) {
+                leftover.push_back(std::move(items_.front()));
+                items_.pop_front();
+            }
+        }
+        consumerCv_.notify_all();
+        return leftover;
+    }
+
+    /** Current depth (racy by nature; for stats and tests). */
+    size_t
+    size() const
+    {
+        MutexLock lock(mutex_);
+        return items_.size();
+    }
+
+    /** Deepest the queue has ever been (never exceeds watermark). */
+    size_t
+    peakDepth() const
+    {
+        MutexLock lock(mutex_);
+        return peakDepth_;
+    }
+
+    bool
+    closed() const
+    {
+        MutexLock lock(mutex_);
+        return closed_;
+    }
+
+    size_t capacity() const { return capacity_; }
+    size_t watermark() const { return watermark_; }
+
+  private:
+    const size_t capacity_;
+    const size_t watermark_;
+    mutable Mutex mutex_;
+    std::deque<T> items_ PICO_GUARDED_BY(mutex_);
+    size_t peakDepth_ PICO_GUARDED_BY(mutex_) = 0;
+    bool closed_ PICO_GUARDED_BY(mutex_) = false;
+    std::condition_variable consumerCv_;
+};
+
+} // namespace pico::support
+
+#endif // PICO_SUPPORT_BOUNDED_QUEUE_HPP

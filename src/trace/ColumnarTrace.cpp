@@ -10,6 +10,7 @@
 
 #include "support/FaultInjection.hpp"
 #include "support/Metrics.hpp"
+#include "trace/TraceErrors.hpp"
 
 namespace pico::trace
 {
@@ -325,8 +326,8 @@ ColumnarTraceWriter::ColumnarTraceWriter(const std::string &path,
       blockCapacity_(block_capacity), open_(block_capacity)
 {
     fatalIf(block_capacity == 0, "zero columnar block capacity");
-    fatalIf(!out_, "cannot open trace file '", path,
-            "' for writing");
+    if (!out_)
+        ioFatal("cannot open trace file '", path, "' for writing");
     // Magic plus a placeholder header; every field but the block
     // capacity is patched by close(). An unsealed header marks a
     // crash mid-write — truncation is never a clean end-of-trace.
@@ -339,7 +340,8 @@ ColumnarTraceWriter::ColumnarTraceWriter(const std::string &path,
         putU64(head, 0);
     out_.write(reinterpret_cast<const char *>(head.data()),
                static_cast<std::streamsize>(head.size()));
-    fatalIf(!out_, "trace file write failed");
+    if (!out_)
+        ioFatal("trace file '", path_, "' write failed");
 }
 
 ColumnarTraceWriter::~ColumnarTraceWriter()
@@ -382,7 +384,8 @@ ColumnarTraceWriter::flushBlock()
                static_cast<std::streamsize>(open_.deltas.size()));
     out_.write(reinterpret_cast<const char *>(open_.kinds.data()),
                static_cast<std::streamsize>(open_.kinds.size()));
-    fatalIf(!out_, "trace file write failed");
+    if (!out_)
+        ioFatal("trace file '", path_, "' write failed");
     open_.reset();
 }
 
@@ -413,7 +416,8 @@ ColumnarTraceWriter::close()
     out_.write(reinterpret_cast<const char *>(head.data()),
                static_cast<std::streamsize>(head.size()));
     out_.flush();
-    fatalIf(!out_, "trace file write failed");
+    if (!out_)
+        ioFatal("trace file '", path_, "' write failed");
     PICO_METRIC_COUNT("tracefile.write.bytes", file_bytes);
     PICO_METRIC_COUNT("tracefile.write.records", count_);
     out_.close();
@@ -448,12 +452,13 @@ ColumnarTraceReader::ColumnarTraceReader(const std::string &path,
     : path_(path), mode_(mode)
 {
     fd_ = ::open(path.c_str(), O_RDONLY);
-    fatalIf(fd_ < 0, "cannot open trace file '", path, "'");
+    if (fd_ < 0)
+        ioFatal("cannot open trace file '", path, "'");
     struct stat st = {};
     if (::fstat(fd_, &st) != 0) {
         ::close(fd_);
         fd_ = -1;
-        fatal("cannot stat trace file '", path, "'");
+        ioFatal("cannot stat trace file '", path, "'");
     }
     bytes_ = static_cast<size_t>(st.st_size);
     if (bytes_ > 0) {
@@ -462,7 +467,7 @@ ColumnarTraceReader::ColumnarTraceReader(const std::string &path,
         if (map == MAP_FAILED) {
             ::close(fd_);
             fd_ = -1;
-            fatal("cannot map trace file '", path, "'");
+            ioFatal("cannot map trace file '", path, "'");
         }
         data_ = static_cast<const uint8_t *>(map);
     }
@@ -484,10 +489,11 @@ ColumnarTraceReader::ColumnarTraceReader(const std::string &path,
 void
 ColumnarTraceReader::parseHeader()
 {
-    fatalIf(bytes_ < traceMagicV3Bytes ||
-                std::memcmp(data_, traceMagicV3,
-                            std::strlen(traceMagicV3)) != 0,
-            "'", path_, "' is not a picoeval v3 trace file");
+    if (bytes_ < traceMagicV3Bytes ||
+        std::memcmp(data_, traceMagicV3,
+                    std::strlen(traceMagicV3)) != 0)
+        corruptFatal("'", path_,
+                     "' is not a picoeval v3 trace file");
 
     bool sealed = false;
     uint64_t block_count = 0, index_offset = 0;
@@ -558,8 +564,8 @@ ColumnarTraceReader::corruptionError(const std::string &what,
                                      size_t block,
                                      uint64_t offset) const
 {
-    fatal("trace '", path_, "' block ", block, " (byte ", offset,
-          "): ", what);
+    corruptFatal("trace '", path_, "' block ", block, " (byte ",
+                 offset, "): ", what);
 }
 
 bool
@@ -619,11 +625,13 @@ ColumnarTraceReader::finish(uint64_t delivered)
         if (runningChecksum_ != fileChecksum_)
             summary_.checksumMismatch = true;
         if (mode_ == TraceReadMode::Strict) {
-            fatalIf(delivered != recordCount_, "trace '", path_,
-                    "': header expects ", recordCount_,
-                    " record(s) but ", delivered, " were read");
-            fatalIf(summary_.checksumMismatch, "trace '", path_,
-                    "': file checksum mismatch");
+            if (delivered != recordCount_)
+                corruptFatal("trace '", path_, "': header expects ",
+                             recordCount_, " record(s) but ",
+                             delivered, " were read");
+            if (summary_.checksumMismatch)
+                corruptFatal("trace '", path_,
+                             "': file checksum mismatch");
         }
     }
     PICO_METRIC_COUNT("tracefile.read.bytes", bytes_);
@@ -638,7 +646,8 @@ int
 sniffTraceFileVersion(const std::string &path)
 {
     int fd = ::open(path.c_str(), O_RDONLY);
-    fatalIf(fd < 0, "cannot open trace file '", path, "'");
+    if (fd < 0)
+        ioFatal("cannot open trace file '", path, "'");
     char head[32] = {};
     ssize_t n = ::read(fd, head, sizeof head);
     ::close(fd);
@@ -653,7 +662,7 @@ sniffTraceFileVersion(const std::string &path)
         return 2;
     if (matches(traceHeaderV1))
         return 1;
-    fatal("'", path, "' is not a picoeval trace file");
+    corruptFatal("'", path, "' is not a picoeval trace file");
 }
 
 } // namespace pico::trace

@@ -4,6 +4,7 @@
 
 #include "support/FaultInjection.hpp"
 #include "support/Metrics.hpp"
+#include "trace/TraceErrors.hpp"
 
 namespace pico::trace
 {
@@ -48,7 +49,8 @@ TraceCorruptionSummary::describe() const
 TraceFileWriter::TraceFileWriter(const std::string &path)
     : path_(path), out_(path, std::ios::trunc)
 {
-    fatalIf(!out_, "cannot open trace file '", path, "' for writing");
+    if (!out_)
+        ioFatal("cannot open trace file '", path, "' for writing");
     out_ << traceHeaderV2 << '\n';
 }
 
@@ -80,7 +82,8 @@ TraceFileWriter::close()
     out_ << traceFooterTag << ' ' << count_ << ' ' << std::hex
          << checksum_ << std::dec << '\n';
     out_.flush();
-    fatalIf(!out_, "trace file write failed");
+    if (!out_)
+        ioFatal("trace file '", path_, "' write failed");
     // Batched once per file: the write loop stays untouched.
     auto bytes = out_.tellp();
     if (bytes > 0)
@@ -138,11 +141,12 @@ TraceFileReader::TraceFileReader(const std::string &path,
                                  TraceReadMode mode)
     : path_(path), in_(path), mode_(mode)
 {
-    fatalIf(!in_, "cannot open trace file '", path, "'");
+    if (!in_)
+        ioFatal("cannot open trace file '", path, "'");
     std::string line;
-    fatalIf(!std::getline(in_, line) ||
-                (line != traceHeaderV1 && line != traceHeaderV2),
-            "'", path, "' is not a picoeval trace file");
+    if (!std::getline(in_, line) ||
+        (line != traceHeaderV1 && line != traceHeaderV2))
+        corruptFatal("'", path, "' is not a picoeval trace file");
     version_ = line == traceHeaderV2 ? 2 : 1;
     nextByte_ = line.size() + 1;
 }
@@ -152,8 +156,8 @@ TraceFileReader::corruptionError(const std::string &what,
                                  const std::string &line)
 {
     std::string detail = line.empty() ? "" : ": '" + excerpt(line) + "'";
-    fatal("trace '", path_, "' line ", lineNo_, " (byte ",
-          lineStartByte_, "): ", what, detail);
+    corruptFatal("trace '", path_, "' line ", lineNo_, " (byte ",
+                 lineStartByte_, "): ", what, detail);
 }
 
 void

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Tests for the serving layer: wire protocol, the evaluation service
+ * (admission control, deadlines, idempotency, failure isolation,
+ * graceful drain), the socket transport, and a deterministic chaos
+ * test over the whole stack.
+ *
+ * The chaos test is watchdog-bounded: test_server is registered with
+ * a ctest TIMEOUT, so a deadlock fails the suite instead of hanging
+ * CI forever.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/Client.hpp"
+#include "server/EvalService.hpp"
+#include "server/Protocol.hpp"
+#include "server/Server.hpp"
+#include "support/Backoff.hpp"
+#include "support/FaultInjection.hpp"
+#include "verify/ResultVerifier.hpp"
+
+namespace pico
+{
+namespace
+{
+
+using server::EvalService;
+using server::Request;
+using server::Response;
+using server::ServiceOptions;
+using server::Status;
+
+/** Service options small enough for fast tests. */
+ServiceOptions
+fastOptions()
+{
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.queueCapacity = 8;
+    opts.queueWatermark = 4;
+    opts.drainDeadlineMs = 5000;
+    return opts;
+}
+
+/** A cheap but real evaluation request. */
+Request
+smallEval(const std::string &machines = "1111")
+{
+    Request req;
+    req.app = "rasta";
+    req.machines = machines;
+    req.traceBlocks = 1500;
+    return req;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------
+
+TEST(Protocol, RequestRoundTrip)
+{
+    Request req;
+    req.type = "eval";
+    req.app = "epic";
+    req.machines = "1111,2211";
+    req.traceBlocks = 1234;
+    req.deadlineMs = 500;
+    req.key = "custom-key";
+    Request out;
+    std::string error;
+    ASSERT_TRUE(server::decodeRequest(server::encodeRequest(req), out,
+                                      error))
+        << error;
+    EXPECT_EQ(out.type, "eval");
+    EXPECT_EQ(out.app, "epic");
+    EXPECT_EQ(out.machines, "1111,2211");
+    EXPECT_EQ(out.traceBlocks, 1234u);
+    EXPECT_EQ(out.deadlineMs, 500u);
+    EXPECT_EQ(out.key, "custom-key");
+}
+
+TEST(Protocol, ResponseRoundTrip)
+{
+    Response resp;
+    resp.status = Status::Shed;
+    resp.error = "queue at watermark";
+    resp.retryAfterMs = 25;
+    resp.values["designs.evaluated"] = 3;
+    resp.values["machine.1111.dilation"] = 1.25;
+    Response out;
+    std::string error;
+    ASSERT_TRUE(server::decodeResponse(server::encodeResponse(resp),
+                                       out, error))
+        << error;
+    EXPECT_EQ(out.status, Status::Shed);
+    EXPECT_EQ(out.error, "queue at watermark");
+    EXPECT_EQ(out.retryAfterMs, 25u);
+    EXPECT_DOUBLE_EQ(out.values["designs.evaluated"], 3.0);
+    EXPECT_DOUBLE_EQ(out.values["machine.1111.dilation"], 1.25);
+}
+
+TEST(Protocol, AllStatusesRoundTrip)
+{
+    for (Status s :
+         {Status::Ok, Status::Shed, Status::DeadlineExceeded,
+          Status::Failed, Status::BadRequest}) {
+        Response resp;
+        resp.status = s;
+        Response out;
+        std::string error;
+        ASSERT_TRUE(server::decodeResponse(
+            server::encodeResponse(resp), out, error));
+        EXPECT_EQ(out.status, s) << server::statusName(s);
+    }
+}
+
+TEST(Protocol, RejectsWrongVersionTag)
+{
+    Request req;
+    std::string error;
+    EXPECT_FALSE(
+        server::decodeRequest("picoeval-req-v9\napp rasta\n", req,
+                              error));
+    EXPECT_FALSE(error.empty());
+    Response resp;
+    EXPECT_FALSE(server::decodeResponse("garbage", resp, error));
+}
+
+TEST(Protocol, SkipsUnknownKeysForForwardCompatibility)
+{
+    std::string payload = server::encodeRequest(Request{});
+    payload += "some_future_field 42\n";
+    Request out;
+    std::string error;
+    EXPECT_TRUE(server::decodeRequest(payload, out, error)) << error;
+}
+
+TEST(Protocol, IdempotencyKeyDerivedFromRequestFields)
+{
+    Request a = smallEval();
+    Request b = smallEval();
+    EXPECT_EQ(a.idempotencyKey(), b.idempotencyKey());
+    b.machines = "2211";
+    EXPECT_NE(a.idempotencyKey(), b.idempotencyKey());
+    b.key = "pinned";
+    EXPECT_EQ(b.idempotencyKey(), "pinned");
+}
+
+// ---------------------------------------------------------------
+// EvalService
+// ---------------------------------------------------------------
+
+TEST(EvalService, PingReportsNotDraining)
+{
+    EvalService service(fastOptions());
+    Request req;
+    req.type = "ping";
+    Response resp = service.call(req);
+    EXPECT_EQ(resp.status, Status::Ok);
+    EXPECT_DOUBLE_EQ(resp.values["draining"], 0.0);
+}
+
+TEST(EvalService, UnknownTypeIsBadRequest)
+{
+    EvalService service(fastOptions());
+    Request req;
+    req.type = "frobnicate";
+    EXPECT_EQ(service.call(req).status, Status::BadRequest);
+}
+
+TEST(EvalService, EvaluatesAndMemoizesIdempotentRetries)
+{
+    EvalService service(fastOptions());
+    Request req = smallEval();
+    Response first = service.call(req);
+    ASSERT_EQ(first.status, Status::Ok) << first.error;
+    EXPECT_GE(first.values["designs.evaluated"], 1.0);
+    EXPECT_GT(first.values["machine.1111.dilation"], 0.0);
+
+    // The retry carries the same (derived) idempotency key: answered
+    // from the memo, not re-walked.
+    Response retry = service.call(req);
+    EXPECT_EQ(retry.status, Status::Ok);
+    EXPECT_DOUBLE_EQ(retry.values["machine.1111.dilation"],
+                     first.values["machine.1111.dilation"]);
+    auto stats = service.statsValues();
+    EXPECT_DOUBLE_EQ(stats["memo_hits"], 1.0);
+    EXPECT_DOUBLE_EQ(stats["completed"], 1.0);
+}
+
+TEST(EvalService, UnknownAppFailsWithoutKillingTheService)
+{
+    EvalService service(fastOptions());
+    Request bad = smallEval();
+    bad.app = "no-such-app";
+    Response resp = service.call(bad);
+    EXPECT_EQ(resp.status, Status::Failed);
+    EXPECT_FALSE(resp.error.empty());
+    EXPECT_EQ(service.failures().size(), 1u);
+    // The failure was isolated: the next request succeeds.
+    EXPECT_EQ(service.call(smallEval()).status, Status::Ok);
+}
+
+TEST(EvalService, WorkerFaultIsIsolatedToOneRequest)
+{
+    EvalService service(fastOptions());
+    support::ScopedFault fault("EvalService::execute", 0, 1);
+    Response faulted = service.call(smallEval());
+    EXPECT_EQ(faulted.status, Status::Failed);
+    Response ok = service.call(smallEval("2111"));
+    EXPECT_EQ(ok.status, Status::Ok) << ok.error;
+}
+
+TEST(EvalService, ShedsAtWatermarkUnderBurst)
+{
+    ServiceOptions opts = fastOptions();
+    opts.workers = 1;
+    opts.queueCapacity = 2;
+    opts.queueWatermark = 1;
+    opts.chaosSlowMs = 400;
+    EvalService service(opts);
+    // Stall every execution: the burst below must pile up.
+    support::ScopedFault slow("EvalService::execute:slow", 0, 0);
+
+    const int kCallers = 5;
+    std::atomic<int> shed{0}, terminal{0};
+    std::vector<std::thread> callers;
+    for (int i = 0; i < kCallers; ++i) {
+        callers.emplace_back([&, i] {
+            Request req = smallEval();
+            req.key = "burst-" + std::to_string(i); // distinct keys
+            Response resp = service.call(req);
+            terminal.fetch_add(1);
+            if (resp.status == Status::Shed) {
+                shed.fetch_add(1);
+                EXPECT_GT(resp.retryAfterMs, 0u);
+            }
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    // One running + one queued; with a 400 ms stall the rest of the
+    // burst must shed. Every caller still got a terminal answer.
+    EXPECT_EQ(terminal.load(), kCallers);
+    EXPECT_GE(shed.load(), kCallers - 2);
+    EXPECT_GE(service.statsValues()["shed"], 1.0);
+}
+
+TEST(EvalService, DeadlineExceededReturnsPartialTaggedResponse)
+{
+    ServiceOptions opts = fastOptions();
+    opts.workers = 1;
+    opts.chaosSlowMs = 200;
+    EvalService service(opts);
+    // The stall consumes the whole 50 ms deadline before the walk
+    // starts: deterministic deadline_exceeded.
+    support::ScopedFault slow("EvalService::execute:slow", 0, 0);
+    Request req = smallEval();
+    req.deadlineMs = 50;
+    Response resp = service.call(req);
+    EXPECT_EQ(resp.status, Status::DeadlineExceeded);
+    EXPECT_FALSE(resp.error.empty());
+    EXPECT_DOUBLE_EQ(service.statsValues()["deadline"], 1.0);
+}
+
+TEST(EvalService, DeadlineWorkIsCachedForTheRetry)
+{
+    std::string cache_path = tempPath("deadline_cache.db");
+    std::remove(cache_path.c_str());
+    ServiceOptions opts = fastOptions();
+    opts.cachePath = cache_path;
+    EvalService service(opts);
+
+    // Evaluate one design fully, then ask for a superset with an
+    // already-expired deadline: the walk cancels, but the completed
+    // design's metrics are already in the shared cache.
+    ASSERT_EQ(service.call(smallEval("1111")).status, Status::Ok);
+    uint64_t computed_before = service.cache().stats().computed;
+    EXPECT_GT(computed_before, 0u);
+
+    Request rushed = smallEval("1111,2111,2211");
+    rushed.deadlineMs = 1;
+    support::sleepForMs(5); // ensure the deadline has passed
+    Response resp = service.call(rushed);
+    EXPECT_EQ(resp.status, Status::DeadlineExceeded);
+
+    // A later identical request without the deadline reuses the
+    // cached computations (cache hits, not recomputation).
+    Response full = service.call(smallEval("1111,2111,2211"));
+    EXPECT_EQ(full.status, Status::Ok) << full.error;
+    EXPECT_GT(service.cache().stats().hits, 0u);
+    std::remove(cache_path.c_str());
+}
+
+TEST(EvalService, DrainAnswersEveryWaiterAndIsIdempotent)
+{
+    ServiceOptions opts = fastOptions();
+    opts.workers = 1;
+    opts.chaosSlowMs = 300;
+    EvalService service(opts);
+    support::ScopedFault slow("EvalService::execute:slow", 0, 0);
+
+    std::atomic<int> answered{0};
+    std::vector<std::thread> callers;
+    for (int i = 0; i < 3; ++i) {
+        callers.emplace_back([&, i] {
+            Request req = smallEval();
+            req.key = "drain-" + std::to_string(i);
+            service.call(req);
+            answered.fetch_add(1);
+        });
+    }
+    support::sleepForMs(50); // let the burst get admitted
+    // Tiny drain deadline: in-flight work is cancelled, queued work
+    // is shed — but every caller must still get an answer.
+    bool graceful = service.drain(1);
+    for (auto &t : callers)
+        t.join();
+    EXPECT_EQ(answered.load(), 3);
+    EXPECT_TRUE(service.draining());
+    // Idempotent: the second drain returns the recorded verdict.
+    EXPECT_EQ(service.drain(1000), graceful);
+    // Post-drain calls shed instead of hanging.
+    EXPECT_EQ(service.call(smallEval()).status, Status::Shed);
+}
+
+// ---------------------------------------------------------------
+// Socket transport
+// ---------------------------------------------------------------
+
+TEST(ServerSocket, RoundTripOverUnixSocket)
+{
+    std::string sock = tempPath("picoeval_rt.sock");
+    EvalService service(fastOptions());
+    server::Server srv(sock, &service);
+    std::thread accept_thread([&] { srv.run(); });
+
+    server::ClientOptions copts;
+    copts.socketPath = sock;
+    server::Client client(copts);
+
+    Request ping;
+    ping.type = "ping";
+    EXPECT_EQ(client.call(ping).status, Status::Ok);
+
+    Response eval = client.call(smallEval());
+    EXPECT_EQ(eval.status, Status::Ok) << eval.error;
+    EXPECT_GT(eval.values["machine.1111.dilation"], 0.0);
+
+    srv.stop();
+    accept_thread.join();
+}
+
+TEST(ServerSocket, ClientGivesUpCleanlyWhenServerAbsent)
+{
+    server::ClientOptions copts;
+    copts.socketPath = tempPath("no_such_server.sock");
+    copts.maxAttempts = 3;
+    copts.backoffBaseMs = 1;
+    copts.backoffCapMs = 2;
+    server::Client client(copts);
+    Response resp = client.call(smallEval());
+    EXPECT_EQ(resp.status, Status::Shed);
+    EXPECT_EQ(client.retries(), 2u); // attempts - 1
+}
+
+// ---------------------------------------------------------------
+// Chaos: the whole service under deterministic fault injection
+// ---------------------------------------------------------------
+
+TEST(Chaos, ServiceSurvivesFaultStormWithoutCorruptionOrDeadlock)
+{
+    std::string cache_path = tempPath("chaos_cache.db");
+    std::remove(cache_path.c_str());
+
+    ServiceOptions opts = fastOptions();
+    opts.cachePath = cache_path;
+    opts.workers = 2;
+    opts.queueCapacity = 4;
+    opts.queueWatermark = 3;
+    opts.chaosSlowMs = 30;
+    uint64_t shed_count = 0, failed_count = 0;
+    {
+        EvalService service(opts);
+        // Deterministic fault storm: worker exceptions, slow
+        // executions, cache-write failures and per-design faults.
+        support::ScopedFault f1("EvalService::execute", 2, 3);
+        support::ScopedFault f2("EvalService::execute:slow", 1, 0);
+        support::ScopedFault f3(
+            "EvaluationCache::save:before-write", 0, 2);
+        support::ScopedFault f4("Spacewalker::evaluateDesign", 4, 2);
+
+        const int kThreads = 4, kRequests = 6;
+        std::atomic<uint64_t> answered{0};
+        std::vector<std::thread> callers;
+        for (int t = 0; t < kThreads; ++t) {
+            callers.emplace_back([&, t] {
+                const char *machines[] = {"1111", "2111", "2211"};
+                for (int r = 0; r < kRequests; ++r) {
+                    Request req =
+                        smallEval(machines[(t + r) % 3]);
+                    req.deadlineMs = 2000;
+                    Response resp = service.call(req);
+                    // Terminal statuses only — never a hang, never
+                    // an unanswerable state.
+                    EXPECT_NE(resp.status, Status::BadRequest);
+                    answered.fetch_add(1);
+                }
+            });
+        }
+        for (auto &t : callers)
+            t.join();
+        EXPECT_EQ(answered.load(),
+                  static_cast<uint64_t>(kThreads * kRequests));
+
+        // Counter conservation: every accepted request reached
+        // exactly one terminal state.
+        auto stats = service.statsValues();
+        EXPECT_DOUBLE_EQ(stats["completed"] + stats["deadline"] +
+                             stats["failed"],
+                         stats["accepted"]);
+        // Backpressure honored even mid-chaos.
+        EXPECT_LE(stats["queue.peak"], stats["queue.watermark"]);
+        shed_count = static_cast<uint64_t>(stats["shed"]);
+        failed_count = static_cast<uint64_t>(stats["failed"]);
+        EXPECT_GT(failed_count, 0u); // the storm really fired
+
+        EXPECT_TRUE(service.drain(5000));
+    } // destructor re-drains (idempotent) and flushes
+
+    // The injected cache-write faults must not have corrupted the
+    // database: it reloads verifier-clean.
+    verify::Diagnostics diags;
+    verify::verifyCacheFile(cache_path, diags);
+    EXPECT_TRUE(diags.clean()) << diags.report();
+    (void)shed_count;
+    std::remove(cache_path.c_str());
+}
+
+} // namespace
+} // namespace pico

@@ -11,15 +11,27 @@ Raw nanosecond metrics are recorded in the reports for forensics but
 never gated.
 
 Check kinds:
-  higher_better  current must stay >= max(floor, min_fraction * base)
-  lower_better   current must stay <= ceiling and <= (1 + slack) * base
-  max_slack      current must stay <= base + slack (absolute units,
-                 e.g. percentage points of overhead)
+  higher_better    current must stay >= max(floor, min_fraction * base)
+  lower_better     current must stay <= ceiling and
+                   <= (1 + slack) * base
+  max_slack        current must stay <= base + slack (absolute units,
+                   e.g. percentage points of overhead)
+  absolute_ceiling current must stay <= ceiling, ignoring the
+                   baseline value entirely. For metrics whose
+                   acceptable range is a contract, not a trend —
+                   e.g. the server's shed rate under the smoke load,
+                   or queue depth relative to the watermark, which
+                   must NEVER exceed 1.0 regardless of history.
 
 Usage:
   picoeval-bench-gate.py [--results DIR] [--baselines DIR]
+                         [--benches A,B,...]
   picoeval-bench-gate.py --update-baselines [--results DIR]
   picoeval-bench-gate.py --self-test
+
+--benches restricts the gate to a comma-separated subset of bench
+names (the CI bench-gate job excludes server_load, which only the
+server-smoke job produces).
 
 --update-baselines copies the current reports over the baselines
 (after a deliberate performance change; commit the result).
@@ -75,6 +87,30 @@ GATES = [
         "kind": "max_slack",
         "slack": 15.0,
     },
+    # Serving-layer contracts (produced by the server-smoke job's
+    # chaos load run, not the bench-gate job). These are absolute:
+    # the smoke load is sized so a healthy server sheds only a
+    # fraction of it, and the bounded queue's peak may never pass
+    # its watermark no matter what the baseline recorded.
+    {
+        "bench": "server_load",
+        "metric": "shed.rate",
+        "kind": "absolute_ceiling",
+        "ceiling": 0.90,  # some shedding is the design working;
+                          # shedding ~everything is an outage
+    },
+    {
+        "bench": "server_load",
+        "metric": "deadline.rate",
+        "kind": "absolute_ceiling",
+        "ceiling": 0.90,
+    },
+    {
+        "bench": "server_load",
+        "metric": "queue.peak_over_watermark",
+        "kind": "absolute_ceiling",
+        "ceiling": 1.0,   # BoundedQueue invariant: peak <= watermark
+    },
 ]
 
 # Every report the gate job must produce, gated metric or not.
@@ -111,14 +147,19 @@ def check_metric(gate, base, cur):
     if kind == "max_slack":
         limit = base + gate["slack"]
         return cur <= limit, "<= %.3f" % limit
+    if kind == "absolute_ceiling":
+        limit = gate["ceiling"]
+        return cur <= limit, "<= %.3f" % limit
     raise ValueError("unknown check kind %r" % kind)
 
 
-def run_gate(results_dir, baselines_dir, out=sys.stdout):
+def run_gate(results_dir, baselines_dir, out=sys.stdout,
+             benches=None):
     """Compare results against baselines; return the failure count."""
     failures = 0
     rows = []
-    for bench in EXPECTED_BENCHES:
+    for bench in (benches if benches is not None
+                  else EXPECTED_BENCHES):
         try:
             current = load_report(results_dir, bench)
         except (OSError, ValueError, json.JSONDecodeError) as e:
@@ -187,6 +228,8 @@ def inflate(gate, value):
         return limit * 1.1
     if kind == "max_slack":
         return value + gate["slack"] + 1.0
+    if kind == "absolute_ceiling":
+        return gate["ceiling"] * 1.1 + 0.1
     raise ValueError(kind)
 
 
@@ -240,7 +283,21 @@ def main():
                     help="overwrite baselines with current results")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate trips on inflated results")
+    ap.add_argument("--benches",
+                    help="comma-separated subset of benches to gate "
+                         "(default: all)")
     args = ap.parse_args()
+
+    benches = None
+    if args.benches:
+        benches = sorted(set(args.benches.split(",")))
+        unknown = [b for b in benches if b not in EXPECTED_BENCHES]
+        if unknown:
+            print("unknown bench(es): %s (known: %s)"
+                  % (", ".join(unknown),
+                     ", ".join(EXPECTED_BENCHES)),
+                  file=sys.stderr)
+            return 2
 
     if args.self_test:
         return self_test(args.baselines,
@@ -248,7 +305,8 @@ def main():
                                       "bench-gate-selftest"))
     if args.update_baselines:
         return update_baselines(args.results, args.baselines)
-    return 1 if run_gate(args.results, args.baselines) else 0
+    return 1 if run_gate(args.results, args.baselines,
+                         benches=benches) else 0
 
 
 if __name__ == "__main__":

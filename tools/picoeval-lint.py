@@ -22,6 +22,17 @@ Checks C++ sources under src/ for constructions the project bans:
                  support/Logging.cpp. Library code reports through
                  the leveled logging sink, which is filterable and
                  emits one atomic write per message.
+  unbounded-queue  std::queue / std::deque in src/server. Every queue
+                 in the serving layer is admitted work the server has
+                 promised to do; an unbounded one turns overload into
+                 unbounded memory and latency. Use
+                 support::BoundedQueue (capacity + shed watermark).
+  raw-sleep      direct sleep calls (sleep_for/usleep/sleep) in
+                 src/server. Fixed-delay retry loops synchronize into
+                 retry storms; pacing goes through support::Backoff
+                 (full-jitter, seeded) or support::sleepForMs via it.
+
+Rules with `only_dirs` apply only to files under those directories.
 
 Comments and string literals are stripped before matching. A finding
 is suppressed when its own line — or the line directly above it —
@@ -81,6 +92,29 @@ RULES = [
         "allow_files": ["src/support/Logging.cpp"],
         "message": "direct terminal output in library code (route "
                    "through the leveled logging sink)",
+    },
+    {
+        "name": "unbounded-queue",
+        "pattern": re.compile(r"std::queue\b|std::deque\b"),
+        "allow_files": [],
+        "only_dirs": ["src/server"],
+        "message": "unbounded queue in the serving layer (use "
+                   "support::BoundedQueue — admission control is "
+                   "not optional)",
+    },
+    {
+        "name": "raw-sleep",
+        # The lookbehind keeps `backoff_.sleep(...)` (the sanctioned
+        # helper) legal while catching bare sleep()/::sleep().
+        "pattern": re.compile(
+            r"sleep_for\s*\(|sleep_until\s*\(|\busleep\s*\("
+            r"|\bnanosleep\s*\(|(?<![.\w])sleep\s*\("
+        ),
+        "allow_files": [],
+        "only_dirs": ["src/server"],
+        "message": "raw sleep in the serving layer (fixed-delay "
+                   "retries synchronize into storms; pace through "
+                   "support::Backoff)",
     },
 ]
 
@@ -153,6 +187,10 @@ def lint_file(path, repo_root):
     findings = []
     for rule in RULES:
         if rel in rule["allow_files"]:
+            continue
+        only_dirs = rule.get("only_dirs")
+        if only_dirs and not any(
+                rel.startswith(d + "/") for d in only_dirs):
             continue
         for lineno, line in enumerate(stripped_lines, 1):
             if not rule["pattern"].search(line):
