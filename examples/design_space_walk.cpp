@@ -7,7 +7,11 @@
  * Usage: design_space_walk [app] [--jobs N] [--verify[=0|1]]
  *                          [--metrics-out FILE] [--trace-out FILE]
  *                          [--cache FILE] [--timeout-ms N]
- *   app      one of the suite names (default rasta)
+ *                          [--replacement lru,fifo,rand]
+ *                          [--write wb,wt] [--write-cost N]
+ *   app      one of the suite names (default rasta); includes the
+ *            accelerator suite (matmul-tile8, matmul-tile16,
+ *            zipf-lut, zipf-dispatch)
  *   --jobs N worker threads for the walk (default 1 = serial,
  *            0 = one per hardware thread); results are identical
  *            for every N
@@ -26,13 +30,25 @@
  *            file (load in chrome://tracing or ui.perfetto.dev)
  *   --cache FILE        persistent evaluation-cache database; rerun
  *            with the same file to see disk hits in the report
+ *   --replacement LIST  comma-separated replacement-policy axis for
+ *            the data and unified cache spaces (lru, fifo, rand;
+ *            default lru). The instruction cache keeps LRU: its
+ *            references carry no stores and the paper's I-side
+ *            dilation model is calibrated on stack simulation.
+ *   --write LIST        comma-separated write-policy axis for the
+ *            data and unified cache spaces (wb, wt; default wb)
+ *   --write-cost N      stall cycles per memory write (dirty-line
+ *            writeback or store write-through; default 0 = classic
+ *            read-only stall model)
  * Flags accept both `--flag value` and `--flag=value`.
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "cache/Policy.hpp"
 #include "dse/Spacewalker.hpp"
 #include "support/CancelToken.hpp"
 #include "support/Metrics.hpp"
@@ -64,6 +80,25 @@ flagValue(int argc, char **argv, int &i, const std::string &flag,
     return false;
 }
 
+/** Split a comma-separated list into its non-empty items. */
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> items;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t comma = text.find(',', pos);
+        size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > pos)
+            items.push_back(text.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return items;
+}
+
 } // namespace
 
 int
@@ -73,6 +108,9 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     int verify = -1;
     uint64_t timeout_ms = 0;
+    double write_cost = 0.0;
+    std::vector<cache::ReplacementPolicy> replacements;
+    std::vector<cache::WritePolicy> write_policies;
     std::string metrics_out, trace_out, cache_path, value;
     for (int i = 1; i < argc; ++i) {
         if (flagValue(argc, argv, i, "--jobs", value)) {
@@ -80,6 +118,16 @@ main(int argc, char **argv)
                 std::strtoul(value.c_str(), nullptr, 10));
         } else if (flagValue(argc, argv, i, "--timeout-ms", value)) {
             timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (flagValue(argc, argv, i, "--replacement",
+                             value)) {
+            for (const auto &item : splitList(value))
+                replacements.push_back(cache::parseReplacement(item));
+        } else if (flagValue(argc, argv, i, "--write", value)) {
+            for (const auto &item : splitList(value))
+                write_policies.push_back(
+                    cache::parseWritePolicy(item));
+        } else if (flagValue(argc, argv, i, "--write-cost", value)) {
+            write_cost = std::strtod(value.c_str(), nullptr);
         } else if (std::string(argv[i]) == "--verify") {
             verify = 1;
         } else if (std::string(argv[i]).rfind("--verify=", 0) == 0) {
@@ -113,8 +161,19 @@ main(int argc, char **argv)
     // Memory space: the default L1/L2 spaces (~20+ candidates per
     // cache type, as in the paper's sizing).
     dse::MemorySpaces spaces;
+    // Policy axes apply to the data-side spaces (see the usage
+    // comment for why the I$ stays LRU/write-back).
+    if (!replacements.empty()) {
+        spaces.dcache.replacements = replacements;
+        spaces.ucache.replacements = replacements;
+    }
+    if (!write_policies.empty()) {
+        spaces.dcache.writePolicies = write_policies;
+        spaces.ucache.writePolicies = write_policies;
+    }
     dse::Spacewalker::Options opts;
     opts.traceBlocks = 40000;
+    opts.stalls.writeCost = write_cost;
     opts.jobs = jobs;
     opts.verify = verify;
     opts.evaluationCachePath = cache_path;

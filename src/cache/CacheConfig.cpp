@@ -34,6 +34,10 @@ CacheConfig::name() const
     oss << "/" << assoc << "way/" << lineBytes << "B";
     if (ports > 1)
         oss << "/" << ports << "p";
+    if (replacement != ReplacementPolicy::LRU)
+        oss << "/" << replacementName(replacement);
+    if (write != WritePolicy::WriteBack)
+        oss << "/" << writePolicyName(write);
     return oss.str();
 }
 
@@ -63,7 +67,11 @@ CacheConfig::areaCost() const
     double data_bits = 8.0 * static_cast<double>(sizeBytes());
     unsigned index_bits = log2Floor(sets);
     unsigned offset_bits = log2Floor(lineBytes);
-    double tag_bits_per_line = 32.0 - index_bits - offset_bits + 2.0;
+    // State bits per line: valid + dirty for write-back; a
+    // write-through line is never dirty, so it drops one state bit.
+    double state_bits = write == WritePolicy::WriteBack ? 2.0 : 1.0;
+    double tag_bits_per_line =
+        32.0 - index_bits - offset_bits + state_bits;
     double tag_bits =
         tag_bits_per_line * static_cast<double>(sets) * assoc;
     // Associative lookup adds comparator cost per way; extra ports

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/Policy.hpp"
+
 namespace pico::cache
 {
 
@@ -25,6 +27,8 @@ struct CacheConfig
     uint32_t assoc = 1;
     uint32_t lineBytes = 32;
     uint32_t ports = 1;
+    ReplacementPolicy replacement = ReplacementPolicy::LRU;
+    WritePolicy write = WritePolicy::WriteBack;
 
     uint64_t
     sizeBytes() const
@@ -38,7 +42,13 @@ struct CacheConfig
     /** fatal() unless the configuration is feasible. */
     void validate() const;
 
-    /** Human-readable name, e.g. "16KB/2way/32B". */
+    /**
+     * Human-readable name, e.g. "16KB/2way/32B". Non-default policy
+     * axes append suffixes ("/fifo", "/rand", "/wt") so design-point
+     * ids stay unique across the extended space while default-space
+     * names — and therefore walk outputs and cache keys derived from
+     * them — are byte-identical to the LRU-only era.
+     */
     std::string name() const;
 
     /**
@@ -54,6 +64,10 @@ struct CacheConfig
     /**
      * Relative silicon area: data array plus tag overhead, scaled by
      * a port factor (multi-ported arrays grow superlinearly).
+     * Write-through caches carry no dirty bit, so their tag state is
+     * one bit per line cheaper; replacement state is part of the
+     * fixed per-line overhead either way (default write-back area is
+     * unchanged from the LRU-only model).
      */
     double areaCost() const;
 
@@ -61,7 +75,9 @@ struct CacheConfig
     operator==(const CacheConfig &other) const
     {
         return sets == other.sets && assoc == other.assoc &&
-               lineBytes == other.lineBytes && ports == other.ports;
+               lineBytes == other.lineBytes && ports == other.ports &&
+               replacement == other.replacement &&
+               write == other.write;
     }
 };
 

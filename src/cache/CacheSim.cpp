@@ -7,8 +7,12 @@
 namespace pico::cache
 {
 
-CacheSim::CacheSim(const CacheConfig &config, bool track_compulsory)
-    : config_(config), trackCompulsory_(track_compulsory)
+CacheSim::CacheSim(const CacheConfig &config, bool track_compulsory,
+                   uint64_t policy_seed)
+    : config_(config), trackCompulsory_(track_compulsory),
+      policySeed_(policy_seed),
+      victimRng_(policyRng(config.sets, config.assoc,
+                           config.lineBytes, policy_seed))
 {
     config_.validate();
     sets_.resize(config_.sets);
@@ -16,10 +20,57 @@ CacheSim::CacheSim(const CacheConfig &config, bool track_compulsory)
         set.reserve(config_.assoc);
 }
 
+void
+CacheSim::installMiss(Set &set, uint64_t line, bool write,
+                      AccessResult &result)
+{
+    // Write-allocate under both write policies; only write-back
+    // installs the line dirty.
+    bool dirty = write && config_.write == WritePolicy::WriteBack;
+
+    switch (config_.replacement) {
+    case ReplacementPolicy::LRU:
+    case ReplacementPolicy::FIFO:
+        // Both keep newest-first order; they differ only in whether
+        // hits reorder (see access()). Evict the back: LRU's
+        // least-recently-used, FIFO's oldest-installed.
+        if (set.size() >= config_.assoc) {
+            result.hasVictim = true;
+            result.victimLine = set.back().line;
+            if (set.back().dirty)
+                ++writebacks_;
+            set.pop_back();
+        }
+        set.insert(set.begin(), Entry{line, dirty});
+        return;
+    case ReplacementPolicy::Random:
+        // Fill empty ways in slot order; once full, replace a
+        // uniformly random way *in place* so slot indices stay
+        // aligned with the set-resident simulator's flat arrays.
+        if (set.size() < config_.assoc) {
+            set.push_back(Entry{line, dirty});
+            return;
+        }
+        {
+            auto victim = static_cast<size_t>(
+                victimRng_.below(config_.assoc));
+            result.hasVictim = true;
+            result.victimLine = set[victim].line;
+            if (set[victim].dirty)
+                ++writebacks_;
+            set[victim] = Entry{line, dirty};
+        }
+        return;
+    }
+    panic("unknown replacement policy");
+}
+
 AccessResult
 CacheSim::access(uint64_t addr, bool write)
 {
     ++accesses_;
+    if (write && config_.write == WritePolicy::WriteThrough)
+        ++writeThroughs_;
     AccessResult result;
 
     uint64_t line = lineId(addr);
@@ -30,12 +81,19 @@ CacheSim::access(uint64_t addr, bool write)
                                return e.line == line;
                            });
     if (it != set.end()) {
-        // Hit: move to MRU position (write-back: mark dirty).
-        Entry entry = *it;
-        entry.dirty |= write;
-        set.erase(it);
-        set.insert(set.begin(), entry);
         result.hit = true;
+        if (config_.replacement == ReplacementPolicy::LRU) {
+            // Hit: move to MRU position (write-back: mark dirty).
+            Entry entry = *it;
+            entry.dirty |=
+                write && config_.write == WritePolicy::WriteBack;
+            set.erase(it);
+            set.insert(set.begin(), entry);
+        } else {
+            // FIFO/random hits never reorder; only dirty state moves.
+            it->dirty |=
+                write && config_.write == WritePolicy::WriteBack;
+        }
         return result;
     }
 
@@ -43,15 +101,7 @@ CacheSim::access(uint64_t addr, bool write)
     if (trackCompulsory_ && seenLines_.insert(line).second)
         ++compulsory_;
 
-    if (set.size() >= config_.assoc) {
-        result.hasVictim = true;
-        result.victimLine = set.back().line;
-        if (set.back().dirty)
-            ++writebacks_;
-        set.pop_back();
-    }
-    // Write-allocate: stores install the line dirty.
-    set.insert(set.begin(), Entry{line, write});
+    installMiss(set, line, write, result);
     return result;
 }
 
@@ -90,7 +140,10 @@ CacheSim::reset()
     misses_ = 0;
     compulsory_ = 0;
     writebacks_ = 0;
+    writeThroughs_ = 0;
     seenLines_.clear();
+    victimRng_ = policyRng(config_.sets, config_.assoc,
+                           config_.lineBytes, policySeed_);
 }
 
 } // namespace pico::cache

@@ -1,12 +1,20 @@
 /**
  * @file
- * Reference single-configuration LRU cache simulator.
+ * Reference single-configuration cache simulator (the oracle).
  *
- * Write policy is write-back, write-allocate; misses are counted
- * identically for reads and writes (the paper reports miss counts,
- * not writeback traffic). Compulsory (first-reference) misses are
- * tracked separately so model validation can exclude start-up misses
- * the way the AHH model does.
+ * Replacement is LRU, FIFO, or random per CacheConfig::replacement;
+ * write handling is write-back or write-through per
+ * CacheConfig::write. Both write policies are write-allocate, so
+ * miss counts depend only on the replacement policy; the policies
+ * differ in memory write traffic (writebacks() for write-back,
+ * writeThroughs() for write-through — see writeTraffic()).
+ * Compulsory (first-reference) misses are tracked separately so
+ * model validation can exclude start-up misses the way the AHH model
+ * does.
+ *
+ * Random replacement draws victims from a deterministic per-geometry
+ * stream (policyRng) so two simulators of the same geometry — or the
+ * set-resident fast simulator — produce bit-identical results.
  */
 
 #ifndef PICO_CACHE_CACHE_SIM_HPP
@@ -17,6 +25,8 @@
 #include <vector>
 
 #include "cache/CacheConfig.hpp"
+#include "cache/Policy.hpp"
+#include "support/Random.hpp"
 #include "trace/Access.hpp"
 
 namespace pico::cache
@@ -32,12 +42,13 @@ struct AccessResult
     uint64_t victimLine = 0;
 };
 
-/** Set-associative LRU cache, one configuration per instance. */
+/** Set-associative cache, one configuration per instance. */
 class CacheSim
 {
   public:
     explicit CacheSim(const CacheConfig &config,
-                      bool track_compulsory = false);
+                      bool track_compulsory = false,
+                      uint64_t policy_seed = policyDefaultSeed);
 
     /** Simulate one reference; returns hit/miss and any victim. */
     AccessResult access(uint64_t addr, bool write = false);
@@ -62,6 +73,21 @@ class CacheSim
     uint64_t compulsoryMisses() const { return compulsory_; }
     /** Dirty lines written back on eviction or invalidation. */
     uint64_t writebacks() const { return writebacks_; }
+    /** Stores forwarded to memory under write-through. */
+    uint64_t writeThroughs() const { return writeThroughs_; }
+
+    /**
+     * Memory writes this cache generated under its write policy:
+     * line writebacks (write-back) or store write-throughs
+     * (write-through).
+     */
+    uint64_t
+    writeTraffic() const
+    {
+        return config_.write == WritePolicy::WriteBack
+                   ? writebacks_
+                   : writeThroughs_;
+    }
 
     double
     missRate() const
@@ -71,7 +97,7 @@ class CacheSim
                          : 0.0;
     }
 
-    /** Reset contents and statistics. */
+    /** Reset contents and statistics (victim Rng included). */
     void reset();
 
   private:
@@ -82,7 +108,14 @@ class CacheSim
         bool dirty;
     };
 
-    /** One set: entries ordered most- to least-recently used. */
+    /**
+     * One set. Ordering encodes the replacement policy's state:
+     * LRU keeps entries most- to least-recently used (hits reorder);
+     * FIFO keeps insertion order, newest first (hits do not reorder);
+     * random replacement keeps stable slot positions — a victim is
+     * replaced in place so slot indices match the set-resident
+     * simulator's flat arrays.
+     */
     using Set = std::vector<Entry>;
 
     uint64_t lineId(uint64_t addr) const { return addr / config_.lineBytes; }
@@ -93,13 +126,19 @@ class CacheSim
         return static_cast<uint32_t>(line_id & (config_.sets - 1));
     }
 
+    void installMiss(Set &set, uint64_t line, bool write,
+                     AccessResult &result);
+
     CacheConfig config_;
     std::vector<Set> sets_;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;
     uint64_t compulsory_ = 0;
     uint64_t writebacks_ = 0;
+    uint64_t writeThroughs_ = 0;
     bool trackCompulsory_;
+    uint64_t policySeed_;
+    Rng victimRng_;
     std::unordered_set<uint64_t> seenLines_;
 };
 

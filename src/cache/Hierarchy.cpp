@@ -49,6 +49,8 @@ HierarchySim::stats() const
     s.dMisses = dcache_.misses();
     s.uAccesses = ucache_.accesses();
     s.uMisses = ucache_.misses();
+    s.dWriteTraffic = dcache_.writeTraffic();
+    s.uWriteTraffic = ucache_.writeTraffic();
     return s;
 }
 
@@ -93,6 +95,8 @@ CoupledHierarchySim::stats() const
     s.dMisses = dcache_.misses();
     s.uAccesses = uAccesses_;
     s.uMisses = uMisses_;
+    s.dWriteTraffic = dcache_.writeTraffic();
+    s.uWriteTraffic = ucache_.writeTraffic();
     return s;
 }
 

@@ -34,6 +34,13 @@ struct HierarchyConfig
     uint32_t l2HitLatency = 10;
     /** L2-miss penalty: latency of main memory, in cycles. */
     uint32_t memoryLatency = 80;
+    /**
+     * Stall cycles charged per memory write the hierarchy generates
+     * (dirty-line writeback under write-back, store write-through
+     * under write-through). 0 keeps the read-only stall model of the
+     * LRU-only era bit-identical.
+     */
+    uint32_t writeCost = 0;
 
     /**
      * The paper requires the L1 parameters to permit inclusion:
@@ -55,17 +62,23 @@ struct HierarchyStats
     uint64_t dMisses = 0;
     uint64_t uAccesses = 0;
     uint64_t uMisses = 0;
+    /** L1 data-cache memory writes (see CacheSim::writeTraffic). */
+    uint64_t dWriteTraffic = 0;
+    /** Unified L2 memory writes. */
+    uint64_t uWriteTraffic = 0;
 
     /**
      * Stall cycles under the paper's additive model: every L1 miss
      * pays the L2 hit latency, every L2 miss additionally pays the
-     * memory latency.
+     * memory latency, and every memory write pays the (default 0)
+     * write cost.
      */
     uint64_t
     stallCycles(const HierarchyConfig &cfg) const
     {
         return (iMisses + dMisses) * cfg.l2HitLatency +
-               uMisses * cfg.memoryLatency;
+               uMisses * cfg.memoryLatency +
+               (dWriteTraffic + uWriteTraffic) * cfg.writeCost;
     }
 };
 

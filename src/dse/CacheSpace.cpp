@@ -8,6 +8,15 @@
 namespace pico::dse
 {
 
+bool
+CacheSpace::extendedAxes() const
+{
+    return replacements.size() != 1 ||
+           replacements.front() != cache::ReplacementPolicy::LRU ||
+           writePolicies.size() != 1 ||
+           writePolicies.front() != cache::WritePolicy::WriteBack;
+}
+
 std::vector<cache::CacheConfig>
 CacheSpace::enumerate() const
 {
@@ -27,8 +36,19 @@ CacheSpace::enumerate() const
                     cfg.assoc = assoc;
                     cfg.lineBytes = line;
                     cfg.ports = ports;
-                    if (cfg.feasible())
-                        out.push_back(cfg);
+                    if (!cfg.feasible())
+                        continue;
+                    // Policy axes innermost so policy variants of a
+                    // geometry enumerate adjacently; the default
+                    // single-element axes reduce this to exactly the
+                    // classic enumeration order.
+                    for (auto repl : replacements) {
+                        for (auto wp : writePolicies) {
+                            cfg.replacement = repl;
+                            cfg.write = wp;
+                            out.push_back(cfg);
+                        }
+                    }
                 }
             }
         }

@@ -26,6 +26,21 @@ struct CacheSpace
     std::vector<uint32_t> assocs;
     std::vector<uint32_t> lineSizes;
     std::vector<uint32_t> portCounts = {1};
+    /** Replacement-policy axis; {LRU} keeps the classic space. */
+    std::vector<cache::ReplacementPolicy> replacements = {
+        cache::ReplacementPolicy::LRU};
+    /** Write-policy axis; {WriteBack} keeps the classic space. */
+    std::vector<cache::WritePolicy> writePolicies = {
+        cache::WritePolicy::WriteBack};
+
+    /**
+     * True when the policy axes extend beyond the classic
+     * LRU/write-back space. Extended spaces pay for set-resident
+     * simulation and get a distinct evaluation-cache key schema;
+     * default spaces stay on the pure Cheetah path with byte-
+     * identical results and keys.
+     */
+    bool extendedAxes() const;
 
     /** All feasible configurations in the space. */
     std::vector<cache::CacheConfig> enumerate() const;

@@ -412,11 +412,14 @@ EvaluationCache::load()
     uint64_t lineNo = 0;
     while (std::getline(in, line)) {
         ++lineNo;
-        // v2 files start with a version header; headerless v1 files
-        // begin directly with entries.
+        // v3/v2 files start with a version header; headerless v1
+        // files begin directly with entries. A v2 database is fully
+        // usable: classic-space keys are byte-identical across the
+        // bump, and extended-axis keys simply miss (they carry the
+        // `;r.*;w.*` suffix no v2 run ever wrote).
         if (first) {
             first = false;
-            if (line == header)
+            if (line == header || line == headerV2)
                 continue;
         }
         if (line.empty())

@@ -15,7 +15,9 @@
  *    always sees either the old or the new generation — never a
  *    half-written file;
  *  - the file starts with a version header
- *    (`picoeval-evalcache-v2`); headerless v1 files still load;
+ *    (`picoeval-evalcache-v3` since the policy-axis key schema; v2
+ *    files and headerless v1 files still load — only the header
+ *    changed, the record format is identical);
  *  - loading validates every entry and salvages the good ones —
  *    corrupt lines are quarantined (counted and warned about), never
  *    thrown through;
@@ -68,8 +70,14 @@ namespace pico::dse
 class EvaluationCache
 {
   public:
-    /** Magic first line of the version-2 database format. */
-    static constexpr const char *header = "picoeval-evalcache-v2";
+    /**
+     * Magic first line of the database format. v3 marks databases
+     * that may hold policy-axis keys (`;r.*;w.*` suffixes); the
+     * record format itself is unchanged since v2.
+     */
+    static constexpr const char *header = "picoeval-evalcache-v3";
+    /** The previous header, still accepted by load(). */
+    static constexpr const char *headerV2 = "picoeval-evalcache-v2";
 
     /** Lock-striping width of the in-memory table. */
     static constexpr size_t shardCount = 16;

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/SetResidentSim.hpp"
 #include "cache/SinglePassSim.hpp"
 #include "core/DilationModel.hpp"
 #include "core/TraceModel.hpp"
@@ -41,6 +42,15 @@ using TraceSource = std::function<void(const TraceSink &)>;
  * Bank of single-pass simulators covering every power-of-two line
  * size from minCoveredLine up to the space's largest line, so the
  * dilation model can interpolate at contracted line sizes.
+ *
+ * Designs are routed by replacement policy: LRU (a stack algorithm)
+ * reads misses from the Cheetah single-pass simulators; FIFO and
+ * random (not stack algorithms) read them from DEW-style
+ * set-resident simulators, one per (line size, policy) over the
+ * space's enumerated line sizes. The set-resident bank — which also
+ * carries dirty bits, so it reports write-back traffic — is built
+ * only when the space's policy axes are extended; classic LRU/WB
+ * spaces pay nothing and stay bit-identical.
  */
 class SimBank
 {
@@ -84,11 +94,27 @@ class SimBank
     /** Simulated reference-trace misses of a covered config. */
     double misses(const cache::CacheConfig &config) const;
 
+    /**
+     * Simulated memory writes of a covered config under its write
+     * policy: dirty-line writebacks for write-back, the trace's
+     * store count for write-through. In a non-extended space (no
+     * set-resident bank) write traffic is not modeled and this
+     * returns 0 — consistent with the classic read-only stall model.
+     */
+    double writeTraffic(const cache::CacheConfig &config) const;
+
+    /** Store references in the simulated trace (extended only). */
+    uint64_t stores() const;
+
     /** True when the configuration is covered. */
     bool covers(const cache::CacheConfig &config) const;
 
-    /** Number of independent single-pass simulations (line sizes). */
-    size_t simRuns() const { return sims_.size(); }
+    /** True when a set-resident (policy) bank was built. */
+    bool extended() const { return !policySims_.empty(); }
+
+    /** Number of independent single-pass simulations (line sizes
+     *  plus, in extended spaces, set-resident passes). */
+    size_t simRuns() const { return sims_.size() + policySims_.size(); }
 
     uint64_t
     accesses() const
@@ -101,6 +127,13 @@ class SimBank
 
   private:
     std::vector<cache::SinglePassSim> sims_;
+    /**
+     * Set-resident simulators for the extended policy axes, one per
+     * (enumerated line size, replacement policy) — including LRU,
+     * whose *misses* still come from sims_ but whose write-back
+     * traffic needs the dirty-bit model.
+     */
+    std::vector<cache::SetResidentSim> policySims_;
 };
 
 /** Instruction-cache evaluator (simulation + dilation model). */
@@ -124,14 +157,21 @@ class IcacheEvaluator
 
     /**
      * Misses of a configuration at a dilation; dilation 1 returns
-     * the simulated count exactly.
+     * the simulated count exactly. Non-LRU designs at dilation != 1
+     * scale their simulated count by the dilation model's LRU-twin
+     * ratio (the model itself is derived for stack algorithms).
      */
     double misses(const cache::CacheConfig &config,
                   double dilation) const;
 
+    /** Simulated memory writes of a configuration (see SimBank). */
+    double writeTraffic(const cache::CacheConfig &config) const;
+
     /** Pareto set over the space at one dilation; time is misses
-     *  weighted by the L1-miss penalty. */
-    ParetoSet pareto(double dilation, double miss_penalty) const;
+     *  weighted by the L1-miss penalty plus write traffic weighted
+     *  by the (default 0) write cost. */
+    ParetoSet pareto(double dilation, double miss_penalty,
+                     double write_cost = 0.0) const;
 
     const core::ComponentParams &params() const { return params_; }
     const CacheSpace &space() const { return space_; }
@@ -168,7 +208,11 @@ class DcacheEvaluator
     /** Misses of a configuration (dilation independent). */
     double misses(const cache::CacheConfig &config) const;
 
-    ParetoSet pareto(double miss_penalty) const;
+    /** Simulated memory writes of a configuration (see SimBank). */
+    double writeTraffic(const cache::CacheConfig &config) const;
+
+    ParetoSet pareto(double miss_penalty,
+                     double write_cost = 0.0) const;
 
     const CacheSpace &space() const { return space_; }
     const SimBank &bank() const { return *bank_; }
@@ -204,7 +248,11 @@ class UcacheEvaluator
     double misses(const cache::CacheConfig &config,
                   double dilation) const;
 
-    ParetoSet pareto(double dilation, double miss_penalty) const;
+    /** Simulated memory writes of a configuration (see SimBank). */
+    double writeTraffic(const cache::CacheConfig &config) const;
+
+    ParetoSet pareto(double dilation, double miss_penalty,
+                     double write_cost = 0.0) const;
 
     const core::ComponentParams &instrParams() const { return iParams_; }
     const core::ComponentParams &dataParams() const { return dParams_; }

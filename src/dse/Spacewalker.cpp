@@ -41,10 +41,19 @@ MemoryWalker::stallCycles(const cache::CacheConfig &icache,
                           const cache::CacheConfig &ucache,
                           double dilation) const
 {
-    return icacheEval_.misses(icache, dilation) * stalls_.l2HitLatency +
-           dcacheEval_.misses(dcache) * stalls_.l2HitLatency +
-           ucacheEval_.misses(ucache, dilation) *
-               stalls_.memoryLatency;
+    double stalls =
+        icacheEval_.misses(icache, dilation) * stalls_.l2HitLatency +
+        dcacheEval_.misses(dcache) * stalls_.l2HitLatency +
+        ucacheEval_.misses(ucache, dilation) * stalls_.memoryLatency;
+    // Write traffic (instruction fetches never write, so only the
+    // data-side caches contribute). Still additive per subsystem,
+    // which is what keeps the product-of-fronts Pareto construction
+    // valid.
+    if (stalls_.writeCost != 0.0) {
+        stalls += dcacheEval_.writeTraffic(dcache) * stalls_.writeCost;
+        stalls += ucacheEval_.writeTraffic(ucache) * stalls_.writeCost;
+    }
+    return stalls;
 }
 
 ParetoSet
@@ -150,13 +159,22 @@ MemoryWalker::pareto(double dilation, uint32_t dcache_ports,
         });
     auto d_cands = evalSubspace(
         d_configs, "D$", [&](const cache::CacheConfig &cfg) {
-            return dcacheEval_.misses(cfg) * stalls_.l2HitLatency;
+            double t =
+                dcacheEval_.misses(cfg) * stalls_.l2HitLatency;
+            if (stalls_.writeCost != 0.0)
+                t += dcacheEval_.writeTraffic(cfg) *
+                     stalls_.writeCost;
+            return t;
         });
     auto u_cands = evalSubspace(
         spaces_.ucache.enumerate(), "U$",
         [&](const cache::CacheConfig &cfg) {
-            return ucacheEval_.misses(cfg, dilation) *
-                   stalls_.memoryLatency;
+            double t = ucacheEval_.misses(cfg, dilation) *
+                       stalls_.memoryLatency;
+            if (stalls_.writeCost != 0.0)
+                t += ucacheEval_.writeTraffic(cfg) *
+                     stalls_.writeCost;
+            return t;
         });
 
     ParetoSet out;
@@ -179,6 +197,35 @@ MemoryWalker::pareto(double dilation, uint32_t dcache_ports,
         }
     }
     return out;
+}
+
+std::string
+procMetricsKey(const std::string &prog_name, uint64_t seed,
+               const std::string &machine_name,
+               const MemorySpaces &spaces)
+{
+    std::string key = "proc;" + prog_name + ";s" +
+                      std::to_string(seed) + ";" + machine_name;
+    for (uint32_t ports : spaces.dcache.portCounts)
+        key += ";p" + std::to_string(ports);
+    // Policy axes are part of the key only when some space extends
+    // them, keeping classic-space keys byte-identical to the
+    // historical schema (old caches keep hitting) while extended
+    // walks can never be served a classic entry or vice versa.
+    if (spaces.icache.extendedAxes() || spaces.dcache.extendedAxes() ||
+        spaces.ucache.extendedAxes()) {
+        for (const CacheSpace *space :
+             {&spaces.icache, &spaces.dcache, &spaces.ucache}) {
+            key += ";r";
+            for (auto repl : space->replacements)
+                key += std::string(".") +
+                       cache::replacementName(repl);
+            key += ";w";
+            for (auto wp : space->writePolicies)
+                key += std::string(".") + cache::writePolicyName(wp);
+        }
+    }
+    return key;
 }
 
 Spacewalker::Spacewalker(MemorySpaces spaces,
@@ -303,6 +350,30 @@ verifyClassInvariants(bool predicated, const ClassContext &ctx,
         verify::verifyMissCount(mem.ucache().misses(cfg, 1.0),
                                 uAccesses,
                                 cls + " U$" + cfg.name(), diags);
+    // Extended policy axes add the write model: check every
+    // enumerated cell's traffic (policy-tagged via cfg.name()). The
+    // data-side banks carry the store counts; classic spaces model
+    // no write traffic, so there is nothing to check there.
+    if (spaces.dcache.extendedAxes()) {
+        auto stores =
+            static_cast<double>(mem.dcache().bank().stores());
+        for (const auto &cfg : spaces.dcache.enumerate())
+            verify::verifyWriteModel(mem.dcache().writeTraffic(cfg),
+                                     mem.dcache().misses(cfg),
+                                     stores, cfg.write,
+                                     cls + " D$" + cfg.name(),
+                                     diags);
+    }
+    if (spaces.ucache.extendedAxes()) {
+        auto stores =
+            static_cast<double>(mem.ucache().bank().stores());
+        for (const auto &cfg : spaces.ucache.enumerate())
+            verify::verifyWriteModel(mem.ucache().writeTraffic(cfg),
+                                     mem.ucache().misses(cfg, 1.0),
+                                     stores, cfg.write,
+                                     cls + " U$" + cfg.name(),
+                                     diags);
+    }
 }
 
 } // namespace
@@ -454,10 +525,8 @@ Spacewalker::explore(const ir::Program &prog)
             // (section 5.1): a hit skips the whole compile/assemble/
             // link of this machine.
             stage = "metrics";
-            std::string key = "proc;" + prog.name + ";s" +
-                              std::to_string(prog.seed) + ";" + name;
-            for (uint32_t ports : spaces_.dcache.portCounts)
-                key += ";p" + std::to_string(ports);
+            std::string key = procMetricsKey(prog.name, prog.seed,
+                                             name, spaces_);
             auto metrics = cacheRef().getOrCompute(key, [&]() {
                 if (cancel != nullptr)
                     cancel->checkpoint("Spacewalker::metrics");

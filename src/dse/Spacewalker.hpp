@@ -46,7 +46,29 @@ struct StallModel
 {
     double l2HitLatency = 10.0;
     double memoryLatency = 80.0;
+    /**
+     * Stall cycles per memory write (dirty-line writeback or store
+     * write-through). The default 0 keeps the classic read-only
+     * stall model bit-identical; write traffic only differentiates
+     * designs when this is set and the spaces enable policy axes.
+     */
+    double writeCost = 0.0;
 };
+
+/**
+ * EvaluationCache key of one machine's per-design metrics within one
+ * walk. The key embeds everything the cached value vector depends
+ * on: program identity, machine, the data-cache port axis — and,
+ * when any cache space extends the policy axes, the replacement/
+ * write-policy axes, so entries cached by a classic LRU walk are
+ * never served to an extended walk (or vice versa). Classic-space
+ * keys are byte-identical to the historical schema, so old caches
+ * keep hitting.
+ */
+std::string procMetricsKey(const std::string &prog_name,
+                           uint64_t seed,
+                           const std::string &machine_name,
+                           const MemorySpaces &spaces);
 
 /** Walks the memory design space for one reference trace set. */
 class MemoryWalker

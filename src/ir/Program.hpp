@@ -76,6 +76,9 @@ enum class AccessPattern : uint8_t
     Random,     ///< uniformly random element within the region
     Zipf,       ///< skewed reuse of hot elements
     Stack,      ///< small, hot region near the top of a stack
+    Tiled,      ///< blocked matrix traversal (tile by tile, row-major
+                ///< within a tile) — the shape of blocked-matmul
+                ///< accelerator kernels
 };
 
 /**
@@ -92,6 +95,14 @@ struct DataStream
     uint32_t strideWords = 1;
     /** Zipf exponent (Zipf only). */
     double zipfExponent = 1.1;
+    /** Tile edge in words (Tiled only; 0 = engine derives 8). */
+    uint32_t tileWords = 0;
+    /**
+     * Matrix row width in words (Tiled only; 0 = engine derives the
+     * largest power of two at most sqrt(sizeWords), i.e. a roughly
+     * square matrix).
+     */
+    uint64_t rowWords = 0;
     /** Assigned base byte address (set by Program::finalize). */
     uint64_t baseAddr = 0;
 };

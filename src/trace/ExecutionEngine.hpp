@@ -180,6 +180,35 @@ class ExecutionEngine
             word = rng_.below(std::min<uint64_t>(64,
                                                  stream.sizeWords));
             break;
+          case ir::AccessPattern::Tiled: {
+            // Blocked matrix traversal (the shape of a blocked
+            // matmul): the region is a rowWords-wide matrix walked
+            // tile by tile, row-major within each tile. Pure cursor
+            // arithmetic — no Rng draws — so adding this pattern
+            // leaves every other stream's random sequence intact.
+            uint64_t tile = stream.tileWords != 0
+                                ? stream.tileWords
+                                : 8;
+            uint64_t row = stream.rowWords;
+            if (row == 0) {
+                row = 1;
+                while (row * row * 4 <= stream.sizeWords)
+                    row *= 2;
+            }
+            tile = std::min<uint64_t>(tile, row);
+            uint64_t tiles_per_row = row / tile;
+            uint64_t tile_words = tile * tile;
+            uint64_t idx = cursor;
+            cursor += 1;
+            uint64_t tile_idx = idx / tile_words;
+            uint64_t within = idx % tile_words;
+            uint64_t tile_row = tile_idx / tiles_per_row;
+            uint64_t tile_col = tile_idx % tiles_per_row;
+            word = ((tile_row * tile + within / tile) * row +
+                    tile_col * tile + within % tile) %
+                   stream.sizeWords;
+            break;
+          }
         }
         return stream.baseAddr + word * 4;
     }

@@ -121,6 +121,31 @@ verifyCacheSpace(const dse::CacheSpace &space,
                             " is outside [1, " +
                             std::to_string(maxPorts) + "]");
     }
+    if (space.replacements.empty())
+        diags.error("space.domain", what,
+                    "no replacement policies specified");
+    if (space.writePolicies.empty())
+        diags.error("space.domain", what,
+                    "no write policies specified");
+    // Duplicate axis entries would enumerate the same configuration
+    // twice (duplicate Pareto ids downstream), so they are domain
+    // errors, not redundancy.
+    for (size_t i = 0; i < space.replacements.size(); ++i)
+        for (size_t j = i + 1; j < space.replacements.size(); ++j)
+            if (space.replacements[i] == space.replacements[j])
+                diags.error("space.domain", what,
+                            "duplicate replacement policy '" +
+                                std::string(cache::replacementName(
+                                    space.replacements[i])) +
+                                "'");
+    for (size_t i = 0; i < space.writePolicies.size(); ++i)
+        for (size_t j = i + 1; j < space.writePolicies.size(); ++j)
+            if (space.writePolicies[i] == space.writePolicies[j])
+                diags.error("space.domain", what,
+                            "duplicate write policy '" +
+                                std::string(cache::writePolicyName(
+                                    space.writePolicies[i])) +
+                                "'");
     if (diags.errorCount() != before)
         return false;
 

@@ -15,7 +15,9 @@ namespace
  * than shared with EvaluationCache.cpp: the round-trip check is only
  * meaningful against an independent reading of the format.
  */
-constexpr const char *cacheFileHeader = "picoeval-evalcache-v2";
+constexpr const char *cacheFileHeader = "picoeval-evalcache-v3";
+/** The previous version, still readable; flagged as a warning. */
+constexpr const char *cacheFileHeaderV2 = "picoeval-evalcache-v2";
 
 /** Parse one comma-separated value list; all values must be finite. */
 bool
@@ -62,6 +64,48 @@ verifyMissCount(double misses, double accesses,
                     "miss count " + std::to_string(misses) +
                         " exceeds access count " +
                         std::to_string(accesses));
+    return diags.errorCount() == before;
+}
+
+bool
+verifyWriteModel(double writes, double misses, double stores,
+                 cache::WritePolicy policy, const std::string &what,
+                 Diagnostics &diags)
+{
+    size_t before = diags.errorCount();
+    if (!std::isfinite(writes) || !std::isfinite(misses) ||
+        !std::isfinite(stores)) {
+        diags.error("result.writes", what,
+                    "non-finite write/miss/store count");
+        return false;
+    }
+    if (writes < 0.0) {
+        diags.error("result.writes", what,
+                    "negative write traffic " +
+                        std::to_string(writes));
+        return false;
+    }
+    if (policy == cache::WritePolicy::WriteBack) {
+        // A writeback rides a dirty eviction, every eviction rides a
+        // miss, and a line is dirty only after a store since its
+        // install — so writebacks are bounded by both counts.
+        if (writes > misses)
+            diags.error("result.writes", what,
+                        "writeback count " + std::to_string(writes) +
+                            " exceeds miss count " +
+                            std::to_string(misses));
+        if (writes > stores)
+            diags.error("result.writes", what,
+                        "writeback count " + std::to_string(writes) +
+                            " exceeds store count " +
+                            std::to_string(stores));
+    } else if (writes != stores) {
+        diags.error("result.writes", what,
+                    "write-through traffic " +
+                        std::to_string(writes) +
+                        " differs from store count " +
+                        std::to_string(stores));
+    }
     return diags.errorCount() == before;
 }
 
@@ -118,12 +162,17 @@ verifyCacheFile(const std::string &path, Diagnostics &diags)
         return false;
     }
     std::string line;
-    if (!std::getline(in, line) || line != cacheFileHeader) {
+    if (!std::getline(in, line) ||
+        (line != cacheFileHeader && line != cacheFileHeaderV2)) {
         diags.error("result.cachefile", what,
                     "missing or wrong version header (expected '" +
                         std::string(cacheFileHeader) + "')");
         return false;
     }
+    if (line == cacheFileHeaderV2)
+        diags.warning("result.cachefile", what,
+                      "legacy v2 header (pre policy-axis schema); "
+                      "rewritten as v3 on the next save");
     std::string prevKey;
     uint64_t lineNo = 1;
     while (std::getline(in, line)) {

@@ -6,6 +6,13 @@
  * Rules (catalog in DESIGN.md §9):
  *  - result.misses    miss counts are finite, non-negative, and never
  *                     exceed the access count they were counted over
+ *  - result.writes    write traffic obeys the write model: finite and
+ *                     non-negative; write-back traffic never exceeds
+ *                     misses (every writeback rides an eviction) nor
+ *                     stores (every written-back line was dirtied by
+ *                     at least one store since install);
+ *                     write-through traffic equals the store count
+ *                     exactly
  *  - result.pareto    Pareto members have unique ids, finite
  *                     non-negative cost/time, and no member dominates
  *                     another (section 1's optimality definition)
@@ -35,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/Policy.hpp"
 #include "dse/Pareto.hpp"
 #include "dse/Spacewalker.hpp"
 #include "trace/ColumnarTrace.hpp"
@@ -49,6 +57,18 @@ namespace pico::verify
  */
 bool verifyMissCount(double misses, double accesses,
                      const std::string &what, Diagnostics &diags);
+
+/**
+ * Check one simulator's write traffic against the write model:
+ * `writes` memory writes generated under `policy`, for a trace with
+ * `stores` store references whose simulation reported `misses`
+ * misses (the policy tag belongs in `what` so findings name the
+ * design-space cell they came from).
+ * @return true when no error-severity finding was added
+ */
+bool verifyWriteModel(double writes, double misses, double stores,
+                      cache::WritePolicy policy,
+                      const std::string &what, Diagnostics &diags);
 
 /**
  * Check a claimed Pareto set for domination-freedom, id uniqueness

@@ -15,7 +15,7 @@ ir::AccessPattern
 pickPattern(const PatternMix &mix, Rng &rng)
 {
     double total = mix.sequential + mix.strided + mix.random +
-                   mix.zipf + mix.stack;
+                   mix.zipf + mix.stack + mix.tiled;
     fatalIf(total <= 0.0, "pattern mix has no weight");
     double u = rng.uniform() * total;
     if ((u -= mix.sequential) < 0)
@@ -26,7 +26,11 @@ pickPattern(const PatternMix &mix, Rng &rng)
         return ir::AccessPattern::Random;
     if ((u -= mix.zipf) < 0)
         return ir::AccessPattern::Zipf;
-    return ir::AccessPattern::Stack;
+    // Tiled rides last so a zero tiled weight leaves the draw and
+    // its outcome identical to the historical five-way mix.
+    if ((u -= mix.stack) < 0)
+        return ir::AccessPattern::Stack;
+    return ir::AccessPattern::Tiled;
 }
 
 ir::Operation
@@ -36,7 +40,7 @@ makeBodyOp(const AppSpec &spec, size_t index, Rng &rng)
     double u = rng.uniform();
     if (u < spec.fracMem) {
         op.opClass = ir::OpClass::Memory;
-        bool store = rng.coin(0.3);
+        bool store = rng.coin(spec.storeFraction);
         op.memKind = store ? ir::MemKind::Store : ir::MemKind::Load;
         op.streamId = static_cast<uint16_t>(
             rng.below(spec.numStreams));
@@ -132,6 +136,10 @@ buildProgram(const AppSpec &spec)
             static_cast<int64_t>(spec.maxStreamWords)));
         stream.strideWords = static_cast<uint32_t>(rng.range(2, 16));
         stream.zipfExponent = 1.3 + 0.5 * rng.uniform();
+        // Tile geometry is taken from the spec, not drawn: any extra
+        // Rng draw here would shift every later stream's parameters
+        // in pre-existing specs.
+        stream.tileWords = spec.tileWords;
         prog.streams.push_back(stream);
     }
 
@@ -429,10 +437,108 @@ paperSuite()
     return suite;
 }
 
+std::vector<AppSpec>
+acceleratorSuite()
+{
+    std::vector<AppSpec> suite;
+
+    // Blocked tiled-matmul kernel drivers: small dispatch-free code,
+    // deep loops, data side dominated by Tiled streams with a heavy
+    // store fraction (the C-matrix accumulate). Two tile edges so
+    // the tile working set straddles typical L1 capacities.
+    auto matmul = [](const char *name, uint64_t seed,
+                     uint32_t tile_words) {
+        AppSpec m;
+        m.name = name;
+        m.seed = seed;
+        m.numFunctions = 10;
+        m.minBlocksPerFunction = 4;
+        m.maxBlocksPerFunction = 12;
+        m.minOpsPerBlock = 6;
+        m.maxOpsPerBlock = 20;
+        m.loopProb = 0.55;
+        m.loopTripMean = 16.0;
+        m.branchProb = 0.2;
+        m.callProb = 0.04;
+        m.indirectCallFraction = 0.1;
+        m.fracMem = 0.45;
+        m.fracFloat = 0.25;
+        m.storeFraction = 0.45;
+        m.depDensity = 0.2;
+        m.numStreams = 6;
+        m.minStreamWords = 65536;
+        m.maxStreamWords = 262144;
+        m.patterns = {0.1, 0.05, 0.0, 0.05, 0.05, 0.75};
+        m.tileWords = tile_words;
+        return m;
+    };
+    suite.push_back(matmul("matmul-tile8", 0x3a73018, 8));
+    suite.push_back(matmul("matmul-tile16", 0x3a73116, 16));
+
+    // Zipf-skewed applications: a table-lookup kernel (few hot
+    // rows, store-light) and a dispatch-heavy interpreter analogue
+    // (hot dispatch structures, store-heavy). Skewed reuse is where
+    // LRU's recency tracking visibly beats FIFO/random.
+    {
+        AppSpec lut;
+        lut.name = "zipf-lut";
+        lut.seed = 0x21bf107;
+        lut.numFunctions = 18;
+        lut.minBlocksPerFunction = 5;
+        lut.maxBlocksPerFunction = 14;
+        lut.minOpsPerBlock = 4;
+        lut.maxOpsPerBlock = 14;
+        lut.loopProb = 0.4;
+        lut.loopTripMean = 12.0;
+        lut.branchProb = 0.35;
+        lut.callProb = 0.05;
+        lut.indirectCallFraction = 0.2;
+        lut.fracMem = 0.4;
+        lut.fracFloat = 0.05;
+        lut.storeFraction = 0.15;
+        lut.depDensity = 0.3;
+        lut.numStreams = 8;
+        lut.minStreamWords = 16384;
+        lut.maxStreamWords = 131072;
+        lut.patterns = {0.1, 0.0, 0.05, 0.75, 0.1, 0.0};
+        suite.push_back(lut);
+    }
+    {
+        AppSpec disp;
+        disp.name = "zipf-dispatch";
+        disp.seed = 0x21bfd15;
+        disp.numFunctions = 60;
+        disp.minBlocksPerFunction = 6;
+        disp.maxBlocksPerFunction = 22;
+        disp.minOpsPerBlock = 3;
+        disp.maxOpsPerBlock = 14;
+        disp.loopProb = 0.25;
+        disp.loopTripMean = 7.0;
+        disp.branchProb = 0.5;
+        disp.callProb = 0.08;
+        disp.indirectCallFraction = 0.55;
+        disp.fracMem = 0.35;
+        disp.fracFloat = 0.0;
+        disp.storeFraction = 0.4;
+        disp.depDensity = 0.4;
+        disp.numStreams = 10;
+        disp.minStreamWords = 4096;
+        disp.maxStreamWords = 65536;
+        disp.patterns = {0.1, 0.05, 0.05, 0.6, 0.2, 0.0};
+        suite.push_back(disp);
+    }
+
+    return suite;
+}
+
 AppSpec
 specByName(const std::string &name)
 {
     for (auto &spec : paperSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    for (auto &spec : acceleratorSuite()) {
         if (spec.name == name)
             return spec;
     }

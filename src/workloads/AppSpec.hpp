@@ -32,6 +32,8 @@ struct PatternMix
     double random = 0.0;
     double zipf = 0.0;
     double stack = 0.0;
+    /** Blocked matrix traversal (accelerator-kernel shape). */
+    double tiled = 0.0;
 };
 
 /** All generator knobs for one synthetic application. */
@@ -72,6 +74,8 @@ struct AppSpec
     /// @{
     double fracMem = 0.3;
     double fracFloat = 0.1;
+    /** Fraction of memory ops that are stores. */
+    double storeFraction = 0.3;
     /// @}
 
     /** Probability an op depends on each of its recent predecessors
@@ -84,6 +88,11 @@ struct AppSpec
     uint64_t minStreamWords = 4096;
     uint64_t maxStreamWords = 65536;
     PatternMix patterns;
+    /**
+     * Tile edge in words for Tiled streams (0 = the engine derives
+     * its default of 8). Irrelevant to every other pattern.
+     */
+    uint32_t tileWords = 0;
     /// @}
 };
 
@@ -101,7 +110,21 @@ ir::Program buildProgram(const AppSpec &spec);
  */
 std::vector<AppSpec> paperSuite();
 
-/** Lookup one suite member by name; fatal() when unknown. */
+/**
+ * Embedded-accelerator analogues beyond the paper's benchmarks:
+ * blocked tiled-matmul kernel drivers (matmul-tile8/tile16) whose
+ * data side is dominated by Tiled streams with heavy store traffic,
+ * and Zipf-skewed lookup/dispatch applications (zipf-lut,
+ * zipf-dispatch). These exercise the replacement and write-policy
+ * axes: tiled reuse separates LRU from FIFO/random, and the high
+ * store fraction separates write-back from write-through traffic.
+ */
+std::vector<AppSpec> acceleratorSuite();
+
+/**
+ * Lookup one suite member by name, searching paperSuite() then
+ * acceleratorSuite(); fatal() when unknown.
+ */
 AppSpec specByName(const std::string &name);
 
 } // namespace pico::workloads

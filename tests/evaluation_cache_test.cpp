@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dse/EvaluationCache.hpp"
+#include "dse/Spacewalker.hpp"
 #include "support/Logging.hpp"
 
 namespace pico::dse
@@ -181,6 +182,80 @@ TEST(EvaluationCache, LoadsHeaderlessV1Files)
     ASSERT_TRUE(cache.lookup("legacy", v));
     EXPECT_EQ(v, std::vector<double>{4.5});
     std::filesystem::remove(path);
+}
+
+TEST(EvaluationCache, LoadsV2FilesAndRewritesThemAsV3)
+{
+    // Schema back-compat across the policy-axis bump: a v2 database
+    // (pre policy axes) loads completely — its classic keys are
+    // byte-identical under the new schema — and the next save
+    // rewrites it under the v3 header.
+    auto path = std::filesystem::temp_directory_path() /
+                "pico_eval_cache_v2.db";
+    {
+        std::ofstream out(path);
+        out << EvaluationCache::headerV2 << "\n"
+            << "proc;app;s1;1111;p1|1.5,2.5\n";
+    }
+    EvaluationCache cache(path.string());
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.quarantinedEntries(), 0u);
+    std::vector<double> v;
+    ASSERT_TRUE(cache.lookup("proc;app;s1;1111;p1", v));
+    EXPECT_EQ(v, (std::vector<double>{1.5, 2.5}));
+    cache.store("k2", {3.0});
+    cache.save();
+
+    std::ifstream in(path);
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first, EvaluationCache::header);
+    EXPECT_NE(std::string(EvaluationCache::header),
+              std::string(EvaluationCache::headerV2));
+    std::filesystem::remove(path);
+}
+
+TEST(EvaluationCache, PolicyAxesPartitionTheKeySchema)
+{
+    // The satellite contract of the schema bump: classic-space keys
+    // are byte-identical to the historical schema (so v2-era LRU
+    // caches keep hitting), while a walk with extended policy axes
+    // derives a *different* key — an old LRU entry can never be
+    // served to a FIFO/random/write-through walk.
+    MemorySpaces classic;
+    auto classic_key = procMetricsKey("app", 1, "1111", classic);
+    EXPECT_EQ(classic_key.rfind("proc;app;s1;1111;p", 0), 0u);
+    EXPECT_EQ(classic_key.find(";r"), std::string::npos);
+    EXPECT_EQ(classic_key.find(";w"), std::string::npos);
+
+    MemorySpaces extended = classic;
+    extended.dcache.replacements = {cache::ReplacementPolicy::LRU,
+                                    cache::ReplacementPolicy::FIFO};
+    extended.dcache.writePolicies = {
+        cache::WritePolicy::WriteBack,
+        cache::WritePolicy::WriteThrough};
+    auto extended_key = procMetricsKey("app", 1, "1111", extended);
+    EXPECT_NE(extended_key, classic_key);
+    EXPECT_NE(extended_key.find(";r.lru.fifo"), std::string::npos);
+    EXPECT_NE(extended_key.find(";w.wb.wt"), std::string::npos);
+
+    // A different axis choice is a different key too.
+    MemorySpaces random_space = classic;
+    random_space.dcache.replacements = {
+        cache::ReplacementPolicy::Random};
+    auto random_key = procMetricsKey("app", 1, "1111", random_space);
+    EXPECT_NE(random_key, classic_key);
+    EXPECT_NE(random_key, extended_key);
+
+    // The table itself enforces the partition: an entry stored by
+    // an old LRU walk misses for the extended walk's key.
+    EvaluationCache table;
+    table.store(classic_key, {1.0, 2.0});
+    std::vector<double> v;
+    EXPECT_FALSE(table.lookup(extended_key, v));
+    EXPECT_FALSE(table.lookup(random_key, v));
+    ASSERT_TRUE(table.lookup(classic_key, v));
+    EXPECT_EQ(v, (std::vector<double>{1.0, 2.0}));
 }
 
 TEST(EvaluationCache, FlushIsIdempotentAndTracksDirtiness)

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/Policy.hpp"
 #include "dse/EvaluationCache.hpp"
 #include "dse/Spacewalker.hpp"
 #include "machine/MachineDesc.hpp"
@@ -376,6 +377,56 @@ TEST(DesignVerifier, DegenerateSpacesTrip)
     }
 }
 
+TEST(DesignVerifier, PolicyAxesMustBeNonEmptyAndUnique)
+{
+    {
+        dse::CacheSpace space = dse::CacheSpace::defaultL1Space();
+        space.replacements.clear();
+        Diagnostics diags;
+        EXPECT_FALSE(verifyCacheSpace(space, "D$", diags));
+        EXPECT_TRUE(diags.has("space.domain")) << diags.report();
+    }
+    {
+        dse::CacheSpace space = dse::CacheSpace::defaultL1Space();
+        space.writePolicies.clear();
+        Diagnostics diags;
+        EXPECT_FALSE(verifyCacheSpace(space, "D$", diags));
+        EXPECT_TRUE(diags.has("space.domain")) << diags.report();
+    }
+    {
+        // A duplicated axis entry would silently double-count every
+        // geometry in the walk.
+        dse::CacheSpace space = dse::CacheSpace::defaultL1Space();
+        space.replacements = {cache::ReplacementPolicy::FIFO,
+                              cache::ReplacementPolicy::FIFO};
+        Diagnostics diags;
+        EXPECT_FALSE(verifyCacheSpace(space, "D$", diags));
+        EXPECT_TRUE(diags.has("space.domain")) << diags.report();
+    }
+    {
+        dse::CacheSpace space = dse::CacheSpace::defaultL1Space();
+        space.writePolicies = {cache::WritePolicy::WriteBack,
+                               cache::WritePolicy::WriteThrough,
+                               cache::WritePolicy::WriteBack};
+        Diagnostics diags;
+        EXPECT_FALSE(verifyCacheSpace(space, "D$", diags));
+        EXPECT_TRUE(diags.has("space.domain")) << diags.report();
+    }
+    {
+        // The full extended axes are a legal space.
+        dse::CacheSpace space = dse::CacheSpace::defaultL1Space();
+        space.replacements = {cache::ReplacementPolicy::LRU,
+                              cache::ReplacementPolicy::FIFO,
+                              cache::ReplacementPolicy::Random};
+        space.writePolicies = {cache::WritePolicy::WriteBack,
+                               cache::WritePolicy::WriteThrough};
+        Diagnostics diags;
+        EXPECT_TRUE(verifyCacheSpace(space, "D$", diags))
+            << diags.report();
+        EXPECT_TRUE(diags.clean());
+    }
+}
+
 TEST(DesignVerifier, HierarchyInclusion)
 {
     cache::HierarchyConfig good;
@@ -568,6 +619,27 @@ TEST_F(CacheFileVerifierTest, FreshDatabasePassesClean)
     cleanup_.push_back(path);
     Diagnostics diags;
     EXPECT_TRUE(verifyCacheFile(path, diags)) << diags.report();
+}
+
+TEST_F(CacheFileVerifierTest, LegacyV2HeaderWarnsButPasses)
+{
+    // A pre-policy-axis database is still fully usable (its classic
+    // keys are byte-identical under the v3 schema), so the verifier
+    // accepts it — with a warning that the header is legacy.
+    auto path = (std::filesystem::temp_directory_path() /
+                 "pico_verify_cachefile_v2.db")
+                    .string();
+    cleanup_.push_back(path);
+    std::ofstream out(path, std::ios::trunc);
+    out << "picoeval-evalcache-v2\n"
+        << "proc;app;s1;1111|1.02,901000\n"
+        << "proc;app;s1;2211|1.08,842000\n";
+    out.close();
+    Diagnostics diags;
+    EXPECT_TRUE(verifyCacheFile(path, diags)) << diags.report();
+    EXPECT_TRUE(diags.has("result.cachefile")) << diags.report();
+    EXPECT_EQ(diags.errorCount(), 0u) << diags.report();
+    EXPECT_EQ(diags.warningCount(), 1u) << diags.report();
 }
 
 TEST_F(CacheFileVerifierTest, MissingFileTrips)

@@ -87,6 +87,14 @@ GATES = [
         "kind": "max_slack",
         "slack": 15.0,
     },
+    {
+        "bench": "policy_sweep",
+        "metric": "setresident_vs_oracle_speedup",
+        "kind": "higher_better",
+        "min_fraction": 0.4,
+        "floor": 1.3,   # one all-geometry pass must beat the
+                        # per-config oracle loop
+    },
     # Serving-layer contracts (produced by the server-smoke job's
     # chaos load run, not the bench-gate job). These are absolute:
     # the smoke load is sized so a healthy server sheds only a
