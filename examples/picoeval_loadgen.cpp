@@ -8,7 +8,8 @@
  * Usage: picoeval_loadgen --socket PATH [--clients N] [--requests N]
  *            [--apps a,b,...] [--machines m1,m2,...] [--zipf S]
  *            [--deadline-ms N] [--trace-blocks N] [--think-ms N]
- *            [--max-attempts N] [--seed N] [--json-out FILE]
+ *            [--max-attempts N] [--seed N] [--stats-interval MS]
+ *            [--json-out FILE]
  *
  *   --clients N      concurrent client threads (default 4)
  *   --requests N     requests per client (default 25)
@@ -25,12 +26,25 @@
  *   --max-attempts N retry budget per request (default 8)
  *   --seed N         experiment seed; retry jitter and request
  *                    draws are reproducible from it (default 1)
+ *   --stats-interval MS  sample the server's stats and health verbs
+ *                    every MS ms *while the load runs*, verifying
+ *                    the counters only ever grow; sample counts land
+ *                    in the report (default 0 = off)
+ *
+ * Retries are counted separately from fresh requests (split by
+ * cause: shed vs transport), so the reported throughput and request
+ * totals are not inflated by the retry path. The final report
+ * reconciles the server's counters against the client-side tally:
+ * every attempt that reached the server must be accounted for as
+ * exactly one of memo-hit/shed/completed/deadline/failed.
  *
  * Exit codes: 0 = every request reached a terminal answer; 1 =
- * protocol violation (bad_request/undecodable) or lost requests.
+ * protocol violation (bad_request/undecodable), lost requests,
+ * non-monotonic mid-run stats, or a reconciliation failure.
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -94,7 +108,19 @@ struct ClientTally
     uint64_t failed = 0;
     uint64_t badRequest = 0;
     uint64_t retries = 0;
+    uint64_t retriesShed = 0;
+    uint64_t retriesTransport = 0;
+    uint64_t transportFailures = 0;
     uint64_t shedResponses = 0;
+};
+
+/** Mid-run stats/health sampler outcome. */
+struct SamplerTally
+{
+    uint64_t samples = 0;
+    uint64_t failures = 0;
+    /** Counters observed moving backwards (must stay 0). */
+    uint64_t violations = 0;
 };
 
 double
@@ -117,7 +143,7 @@ main(int argc, char **argv)
     std::string socket_path, value;
     uint64_t clients = 4, requests = 25, deadline_ms = 0;
     uint64_t trace_blocks = 2000, think_ms = 0, seed = 1;
-    uint64_t max_attempts = 8;
+    uint64_t max_attempts = 8, stats_interval_ms = 0;
     double zipf_s = 1.8;
     std::vector<std::string> apps = {"rasta", "epic"};
     std::vector<std::string> machines = {"1111", "2111", "2211",
@@ -146,6 +172,10 @@ main(int argc, char **argv)
             max_attempts = std::strtoull(value.c_str(), nullptr, 10);
         } else if (flagValue(argc, argv, i, "--seed", value)) {
             seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (flagValue(argc, argv, i, "--stats-interval",
+                             value)) {
+            stats_interval_ms =
+                std::strtoull(value.c_str(), nullptr, 10);
         } else {
             std::cerr << "unknown argument: " << argv[i] << "\n";
             return 2;
@@ -175,6 +205,50 @@ main(int argc, char **argv)
     std::vector<std::thread> threads;
     threads.reserve(clients);
     uint64_t run_start = support::monotonicNowNs();
+
+    // Mid-run observability sampler: hammer the stats and health
+    // verbs *while* the eval load runs, and verify every monotonic
+    // counter only ever grows between samples. An overloaded server
+    // that cannot answer its introspection verbs fails here.
+    std::atomic<bool> sampler_stop{false};
+    SamplerTally sampler_tally;
+    std::thread sampler;
+    if (stats_interval_ms != 0) {
+        sampler = std::thread([&] {
+            server::ClientOptions copts;
+            copts.socketPath = socket_path;
+            copts.seed = seed;
+            copts.stream = clients + 1; // own jitter stream
+            server::Client client(copts);
+            static const char *const monotonic[] = {
+                "requests.total", "accepted",  "shed",
+                "completed",      "deadline",  "failed",
+                "memo_hits",      "queue.peak"};
+            std::map<std::string, double> prev;
+            while (!sampler_stop.load(std::memory_order_relaxed)) {
+                server::Request stats_req;
+                stats_req.type = "stats";
+                auto stats = client.call(stats_req);
+                server::Request health_req;
+                health_req.type = "health";
+                auto health = client.call(health_req);
+                if (stats.status != server::Status::Ok ||
+                    health.status != server::Status::Ok) {
+                    ++sampler_tally.failures;
+                } else {
+                    for (const char *key : monotonic) {
+                        auto it = prev.find(key);
+                        if (it != prev.end() &&
+                            stats.values[key] < it->second)
+                            ++sampler_tally.violations;
+                        prev[key] = stats.values[key];
+                    }
+                }
+                ++sampler_tally.samples;
+                support::sleepForMs(stats_interval_ms);
+            }
+        });
+    }
     for (uint64_t c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
             server::ClientOptions copts;
@@ -224,6 +298,9 @@ main(int argc, char **argv)
                     support::sleepForMs(think_ms);
             }
             tally.retries = client.retries();
+            tally.retriesShed = client.retriesShed();
+            tally.retriesTransport = client.retriesTransport();
+            tally.transportFailures = client.transportFailures();
             tally.shedResponses = client.shedSeen();
         });
     }
@@ -232,6 +309,10 @@ main(int argc, char **argv)
     double wall_s = static_cast<double>(support::monotonicNowNs() -
                                         run_start) /
                     1e9;
+    if (sampler.joinable()) {
+        sampler_stop.store(true, std::memory_order_relaxed);
+        sampler.join();
+    }
 
     ClientTally sum;
     for (const auto &t : tallies) {
@@ -241,6 +322,9 @@ main(int argc, char **argv)
         sum.failed += t.failed;
         sum.badRequest += t.badRequest;
         sum.retries += t.retries;
+        sum.retriesShed += t.retriesShed;
+        sum.retriesTransport += t.retriesTransport;
+        sum.transportFailures += t.transportFailures;
         sum.shedResponses += t.shedResponses;
         sum.okLatencyMs.insert(sum.okLatencyMs.end(),
                                t.okLatencyMs.begin(),
@@ -253,7 +337,12 @@ main(int argc, char **argv)
     uint64_t attempts = total + sum.retries;
 
     // Server-side queue observability: was backpressure honored?
+    // Also the reconciliation source: the server's counters must
+    // account for every attempt this process sent it.
     double queue_peak = 0.0, watermark = 1.0;
+    bool server_counters_ok = true;
+    bool reconciled = true;
+    double server_total = 0.0;
     {
         server::ClientOptions copts;
         copts.socketPath = socket_path;
@@ -267,6 +356,29 @@ main(int argc, char **argv)
             queue_peak = stats.values["queue.peak"];
             if (stats.values["queue.watermark"] > 0)
                 watermark = stats.values["queue.watermark"];
+            server_total = stats.values["requests.total"];
+            // Internal identity: every received eval request ended
+            // as exactly one of these (no client is mid-call now).
+            double accounted = stats.values["memo_hits"] +
+                               stats.values["shed"] +
+                               stats.values["completed"] +
+                               stats.values["deadline"] +
+                               stats.values["failed"];
+            server_counters_ok = server_total == accounted;
+            // Cross-check against our own tally: each attempt that
+            // made it over the wire is one server-side request
+            // (assumes this loadgen is the server's only client).
+            double wire_attempts = static_cast<double>(
+                attempts - sum.transportFailures);
+            reconciled = server_total == wire_attempts;
+            if (!server_counters_ok)
+                std::cerr << "FAIL: server counters do not add up: "
+                          << "requests.total " << server_total
+                          << " != " << accounted << " accounted\n";
+            if (!reconciled)
+                std::cerr << "FAIL: server saw " << server_total
+                          << " request(s), loadgen sent "
+                          << wire_attempts << "\n";
         } else {
             std::cerr << "warning: stats request failed ("
                       << server::statusName(stats.status) << ")\n";
@@ -309,11 +421,24 @@ main(int argc, char **argv)
     report.setMetric("requests.deadline", sum.deadline);
     report.setMetric("requests.failed", sum.failed);
     report.setMetric("retries.total", sum.retries);
+    report.setMetric("retries.shed", sum.retriesShed);
+    report.setMetric("retries.transport", sum.retriesTransport);
+    report.setMetric("transport.failures", sum.transportFailures);
+    report.setMetric("attempts.total", attempts);
     report.setMetric("shed.responses", sum.shedResponses);
     report.setMetric("shed.rate", shed_rate);
     report.setMetric("deadline.rate", deadline_rate);
     report.setMetric("queue.peak_over_watermark",
                      watermark > 0 ? queue_peak / watermark : 0.0);
+    report.setMetric("server.requests.total", server_total);
+    report.setMetric("server.reconciled",
+                     (server_counters_ok && reconciled) ? 1.0 : 0.0);
+    if (stats_interval_ms != 0) {
+        report.setMetric("stats.samples", sampler_tally.samples);
+        report.setMetric("stats.failures", sampler_tally.failures);
+        report.setMetric("stats.violations",
+                         sampler_tally.violations);
+    }
     if (!bench::writeReport(report, json_out))
         return 1;
 
@@ -324,6 +449,13 @@ main(int argc, char **argv)
         std::cerr << "FAIL: " << answered << "/" << total
                   << " answered, " << sum.badRequest
                   << " bad_request\n";
+        return 1;
+    }
+    if (!server_counters_ok || !reconciled)
+        return 1;
+    if (sampler_tally.violations != 0) {
+        std::cerr << "FAIL: " << sampler_tally.violations
+                  << " non-monotonic mid-run stats sample(s)\n";
         return 1;
     }
     return 0;

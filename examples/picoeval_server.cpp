@@ -8,7 +8,8 @@
  * Usage: picoeval_server --socket PATH [--workers N] [--cache FILE]
  *            [--queue-capacity N] [--watermark N]
  *            [--default-deadline-ms N] [--drain-ms N] [--chaos]
- *            [--metrics-out FILE]
+ *            [--metrics-out FILE] [--trace-out FILE]
+ *            [--flight-out FILE]
  *        picoeval_server --verify-cache FILE
  *
  *   --socket PATH      Unix socket to listen on (required to serve)
@@ -26,6 +27,12 @@
  *                      load harness, never production
  *   --metrics-out FILE write a machine-readable run report (JSON)
  *                      after the drain
+ *   --trace-out FILE   enable request-scoped tracing and write the
+ *                      Chrome trace (request ids, span parentage,
+ *                      cross-thread flow events) after the drain
+ *   --flight-out FILE  write the flight-recorder ring (last 1024
+ *                      request lifecycle events) after the drain,
+ *                      on SIGUSR1, and from the fatal()/panic() hook
  *   --verify-cache FILE  standalone mode: audit an evaluation-cache
  *                      database with the result verifier and exit
  *                      (0 = clean) — CI runs this after chaos loads
@@ -33,7 +40,8 @@
  * On SIGTERM/SIGINT the server stops accepting, drains admitted work
  * under --drain-ms (answering anything the deadline strands as
  * shed), flushes the cache, writes the final report, and exits 0 on
- * a clean drain, 4 when the drain deadline was blown.
+ * a clean drain, 4 when the drain deadline was blown. SIGUSR1 dumps
+ * the flight recorder to --flight-out without disturbing the server.
  */
 
 #include <csignal>
@@ -46,8 +54,11 @@
 #include "server/Server.hpp"
 #include "support/Backoff.hpp"
 #include "support/FaultInjection.hpp"
+#include "support/FlightRecorder.hpp"
+#include "support/Logging.hpp"
 #include "support/Metrics.hpp"
 #include "support/RunReport.hpp"
+#include "support/TraceEvents.hpp"
 #include "verify/ResultVerifier.hpp"
 
 using namespace pico;
@@ -56,11 +67,35 @@ namespace
 {
 
 volatile std::sig_atomic_t g_signal = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void
 onSignal(int sig)
 {
     g_signal = sig;
+}
+
+void
+onDumpSignal(int)
+{
+    g_dump = 1;
+}
+
+/** Where the fatal hook and SIGUSR1 write the flight recorder. */
+std::string g_flight_path;
+
+/**
+ * Installed via setFatalHook: any panic()/fatal() on any thread
+ * dumps the flight recorder before the exception unwinds, so the
+ * post-mortem names the request ids in flight at the moment of
+ * death.
+ */
+void
+fatalFlightDump(const char *, const std::string &)
+{
+    if (!g_flight_path.empty())
+        support::FlightRecorder::instance().dumpToFile(
+            g_flight_path);
 }
 
 /** Match `--flag value` or `--flag=value`; fills `value` on match. */
@@ -111,6 +146,7 @@ int
 main(int argc, char **argv)
 {
     std::string socket_path, cache_path, metrics_out, verify_path;
+    std::string trace_out, flight_out;
     server::ServiceOptions opts;
     uint64_t drain_ms = 10000;
     bool chaos = false;
@@ -119,6 +155,8 @@ main(int argc, char **argv)
         if (flagValue(argc, argv, i, "--socket", socket_path) ||
             flagValue(argc, argv, i, "--cache", cache_path) ||
             flagValue(argc, argv, i, "--metrics-out", metrics_out) ||
+            flagValue(argc, argv, i, "--trace-out", trace_out) ||
+            flagValue(argc, argv, i, "--flight-out", flight_out) ||
             flagValue(argc, argv, i, "--verify-cache",
                       verify_path)) {
             // value captured by flagValue
@@ -164,6 +202,11 @@ main(int argc, char **argv)
     }
 
     support::setMetricsEnabled(!metrics_out.empty());
+    support::setTraceEnabled(!trace_out.empty());
+    if (!flight_out.empty()) {
+        g_flight_path = flight_out;
+        setFatalHook(fatalFlightDump);
+    }
     if (chaos)
         armChaos();
     opts.cachePath = cache_path;
@@ -176,10 +219,24 @@ main(int argc, char **argv)
     sa.sa_handler = onSignal;
     sigaction(SIGTERM, &sa, nullptr);
     sigaction(SIGINT, &sa, nullptr);
+    struct sigaction dump_sa = {};
+    dump_sa.sa_handler = onDumpSignal;
+    sigaction(SIGUSR1, &dump_sa, nullptr);
 
     std::thread accept_thread([&srv] { srv.run(); });
-    while (g_signal == 0)
+    while (g_signal == 0) {
+        if (g_dump != 0) {
+            g_dump = 0;
+            // Live post-mortem: dump the ring without disturbing
+            // the serving threads (snapshot never blocks writers).
+            if (!flight_out.empty() &&
+                support::FlightRecorder::instance().dumpToFile(
+                    flight_out))
+                std::cout << "flight recorder dumped to "
+                          << flight_out << "\n";
+        }
         support::sleepForMs(50);
+    }
     std::cout << "signal " << static_cast<int>(g_signal)
               << ": stopping\n";
 
@@ -189,6 +246,9 @@ main(int argc, char **argv)
     accept_thread.join();
     bool graceful = service.drain(drain_ms);
 
+    // Snapshot the counters only now: the drain above may still
+    // complete (or shed) queued requests, and the report must
+    // account for every one of them.
     auto stats = service.statsValues();
     std::cout << "served: " << stats["completed"] << " ok, "
               << stats["shed"] << " shed, " << stats["deadline"]
@@ -210,5 +270,12 @@ main(int argc, char **argv)
             std::cout << "run report written to " << metrics_out
                       << "\n";
     }
+    if (!trace_out.empty() &&
+        support::TraceRecorder::instance().writeJson(trace_out))
+        std::cout << "chrome trace written to " << trace_out << "\n";
+    if (!flight_out.empty() &&
+        support::FlightRecorder::instance().dumpToFile(flight_out))
+        std::cout << "flight recorder dumped to " << flight_out
+                  << "\n";
     return graceful ? 0 : 4;
 }

@@ -145,6 +145,7 @@ EvaluationCache::recordHit(size_t shard_index, bool from_disk) const
     ++hits_;
     if (from_disk)
         ++diskHits_;
+    shardHits_[shard_index].fetch_add(1, std::memory_order_relaxed);
     if (support::metricsEnabled())
         shardMetricCounter("hits", shard_index).add(1);
 }
@@ -153,6 +154,8 @@ void
 EvaluationCache::recordMiss(size_t shard_index) const
 {
     ++misses_;
+    shardMisses_[shard_index].fetch_add(1,
+                                        std::memory_order_relaxed);
     if (support::metricsEnabled())
         shardMetricCounter("misses", shard_index).add(1);
 }
@@ -279,6 +282,19 @@ EvaluationCache::stats() const
     s.loadedEntries = loadedEntries_;
     s.quarantinedEntries = quarantinedEntries_;
     return s;
+}
+
+std::array<EvaluationCache::ShardStats, EvaluationCache::shardCount>
+EvaluationCache::shardStats() const
+{
+    std::array<ShardStats, shardCount> out{};
+    for (size_t k = 0; k < shardCount; ++k) {
+        out[k].hits =
+            shardHits_[k].load(std::memory_order_relaxed);
+        out[k].misses =
+            shardMisses_[k].load(std::memory_order_relaxed);
+    }
+    return out;
 }
 
 size_t

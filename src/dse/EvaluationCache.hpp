@@ -163,6 +163,23 @@ class EvaluationCache
     /** Snapshot every counter at once. */
     Stats stats() const;
 
+    /**
+     * Per-shard hit/miss split for *this* cache instance — always
+     * counted (two relaxed adds per lookup), unlike the registry's
+     * evalcache.shardNN.* counters which aggregate every cache in
+     * the process and only tick when metrics are enabled. The
+     * server's stats verb reports these, so a skewed stripe is
+     * visible per service.
+     */
+    struct ShardStats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+    };
+
+    /** Snapshot each shard's hit/miss counters. */
+    std::array<ShardStats, shardCount> shardStats() const;
+
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
     size_t size() const;
@@ -228,6 +245,10 @@ class EvaluationCache
     mutable support::Mutex flushMutex_;
     mutable std::atomic<uint64_t> hits_{0};
     mutable std::atomic<uint64_t> misses_{0};
+    mutable std::array<std::atomic<uint64_t>, shardCount>
+        shardHits_{};
+    mutable std::array<std::atomic<uint64_t>, shardCount>
+        shardMisses_{};
     mutable std::atomic<uint64_t> diskHits_{0};
     mutable std::atomic<uint64_t> computed_{0};
     mutable std::atomic<uint64_t> stores_{0};

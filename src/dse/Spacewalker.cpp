@@ -386,7 +386,10 @@ Spacewalker::explore(const ir::Program &prog)
     const size_t n = machineNames_.size();
     const support::CancelToken *cancel = options_.cancel;
     support::TimedSpan exploreSpan("walk.explore", "walk");
-    support::TraceRecorder::instance().nameThisThread("walk-main");
+    // A default only: when the walk runs on a server worker, the
+    // worker's own track name must survive.
+    support::TraceRecorder::instance().nameThisThreadDefault(
+        "walk-main");
     support::ThreadPool pool(
         support::ThreadPool::resolveJobs(options_.jobs) - 1);
     if (support::metricsEnabled()) {

@@ -100,13 +100,23 @@ Client::call(const Request &req)
     Response last;
     last.status = Status::Shed;
     last.error = "no attempts made";
+    // Why the *previous* attempt failed — a retry is blamed on its
+    // cause, so a load test can tell shed-driven retries (the server
+    // protecting itself) from transport-driven ones (something died).
+    bool lastWasTransport = false;
     for (uint32_t a = 0; a < options_.maxAttempts; ++a) {
         if (a > 0) {
             ++retries_;
+            if (lastWasTransport)
+                ++retriesTransport_;
+            else
+                ++retriesShed_;
             backoff_.sleep(last.retryAfterMs);
         }
         Response resp;
         if (!attempt(keyed, resp)) {
+            ++transportFailures_;
+            lastWasTransport = true;
             last = Response();
             last.status = Status::Shed;
             last.error = "transport failure";
@@ -114,6 +124,7 @@ Client::call(const Request &req)
         }
         if (resp.status == Status::Shed) {
             ++shedSeen_;
+            lastWasTransport = false;
             last = resp;
             continue;
         }

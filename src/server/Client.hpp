@@ -65,8 +65,14 @@ class Client
 
     /** Retries performed since construction (attempts - calls). */
     uint64_t retries() const { return retries_; }
+    /** Retries caused by a shed response (load, not transport). */
+    uint64_t retriesShed() const { return retriesShed_; }
+    /** Retries caused by a transport failure (connect/read/write). */
+    uint64_t retriesTransport() const { return retriesTransport_; }
     /** Shed responses observed (including retried ones). */
     uint64_t shedSeen() const { return shedSeen_; }
+    /** Failed attempts on the wire (connect/read/write errors). */
+    uint64_t transportFailures() const { return transportFailures_; }
 
   private:
     /** Ensure a connected socket; false when connect fails. */
@@ -79,7 +85,10 @@ class Client
     support::Backoff backoff_;
     int fd_ = -1;
     uint64_t retries_ = 0;
+    uint64_t retriesShed_ = 0;
+    uint64_t retriesTransport_ = 0;
     uint64_t shedSeen_ = 0;
+    uint64_t transportFailures_ = 0;
 };
 
 } // namespace pico::server

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <chrono>
 
+#include <cstdio>
+
 #include "core/TraceModel.hpp"
 #include "dse/Spacewalker.hpp"
 #include "support/Backoff.hpp"
 #include "support/FaultInjection.hpp"
+#include "support/FlightRecorder.hpp"
 #include "support/Logging.hpp"
 #include "support/Metrics.hpp"
+#include "support/TraceEvents.hpp"
 #include "workloads/AppSpec.hpp"
 #include "workloads/Toolchain.hpp"
 
@@ -17,6 +21,12 @@ namespace pico::server
 
 namespace
 {
+
+using support::FlightRecorder;
+
+/** Stats-key spelling of each Verb bucket. */
+constexpr const char *verbKeyNames[] = {"eval", "stats", "health",
+                                        "dump_trace", "ping"};
 
 /** Split a comma-separated machine list ("" items dropped). */
 std::vector<std::string>
@@ -46,8 +56,13 @@ EvalService::EvalService(ServiceOptions options)
 {
     fatalIf(options_.workers == 0, "eval service needs >= 1 worker");
     workers_.reserve(options_.workers);
-    for (unsigned i = 0; i < options_.workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i < options_.workers; ++i) {
+        workers_.emplace_back([this, i] {
+            support::TraceRecorder::instance().nameThisThread(
+                "server-worker-" + std::to_string(i));
+            workerLoop();
+        });
+    }
     inform("eval service: ", options_.workers, " worker(s), queue ",
            queue_.watermark(), "/", queue_.capacity(),
            options_.cachePath.empty()
@@ -72,24 +87,60 @@ EvalService::failures() const
 Response
 EvalService::call(const Request &req)
 {
+    uint64_t start_ns = support::monotonicNowNs();
     if (req.type == "ping") {
         Response resp;
         resp.values["draining"] = draining() ? 1.0 : 0.0;
+        recordVerb(VerbPing, start_ns);
         return resp;
     }
-    if (req.type == "stats")
-        return statsResponse();
+    if (req.type == "stats") {
+        Response resp = statsResponse();
+        recordVerb(VerbStats, start_ns);
+        return resp;
+    }
+    if (req.type == "health") {
+        Response resp = healthResponse();
+        recordVerb(VerbHealth, start_ns);
+        return resp;
+    }
+    if (req.type == "dump-trace") {
+        Response resp = dumpTraceResponse(req);
+        recordVerb(VerbDumpTrace, start_ns);
+        return resp;
+    }
     if (req.type != "eval") {
         Response resp;
         resp.status = Status::BadRequest;
         resp.error = "unknown request type: " + req.type;
         return resp;
     }
+    Response resp = evalCall(req);
+    recordVerb(VerbEval, start_ns);
+    return resp;
+}
+
+Response
+EvalService::evalCall(const Request &req)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    // The request identity everything downstream is stamped with:
+    // spans, flow events, flight-recorder entries, and the response
+    // itself (values["request.id"]), so a client can hand the id
+    // back to dump-trace.
+    const uint64_t rid = support::newRequestId();
+    support::RequestSpan span(support::TraceContext{rid, 0},
+                              "server.request");
+    if (support::traceEnabled())
+        support::TraceRecorder::instance().flowStart("request", rid);
 
     const std::string key = req.idempotencyKey();
     Response memoized;
     if (memoLookup(key, memoized)) {
         memoHits_.fetch_add(1, std::memory_order_relaxed);
+        FlightRecorder::instance().record(
+            FlightRecorder::EventKind::Finish, rid, "memo");
+        memoized.values["request.id"] = static_cast<double>(rid);
         return memoized;
     }
 
@@ -101,6 +152,9 @@ EvalService::call(const Request &req)
             ? support::monotonicNowNs() + deadline_ms * 1000000ULL
             : support::CancelToken::noDeadline;
     auto task = std::make_shared<Task>(req, deadline_ns);
+    // The worker resumes this request's tree: same request id, its
+    // execute span parented under this thread's request span.
+    task->ctx = span.context();
     task->req.traceBlocks = std::min(
         std::max<uint64_t>(task->req.traceBlocks, 1),
         options_.maxTraceBlocks);
@@ -124,23 +178,32 @@ EvalService::call(const Request &req)
 
     switch (queue_.tryPush(task)) {
     case support::QueuePush::Ok:
+        FlightRecorder::instance().record(
+            FlightRecorder::EventKind::Admit, rid);
         break;
     case support::QueuePush::AtWatermark:
     case support::QueuePush::Full: {
         shed_.fetch_add(1, std::memory_order_relaxed);
         PICO_METRIC_COUNT("server.shed", 1);
+        FlightRecorder::instance().record(
+            FlightRecorder::EventKind::Shed, rid,
+            "queue at watermark");
         Response resp;
         resp.status = Status::Shed;
         resp.error = "queue at watermark";
         resp.retryAfterMs = options_.retryAfterMs;
+        resp.values["request.id"] = static_cast<double>(rid);
         return resp;
     }
     case support::QueuePush::Closed: {
         shed_.fetch_add(1, std::memory_order_relaxed);
+        FlightRecorder::instance().record(
+            FlightRecorder::EventKind::Shed, rid, "draining");
         Response resp;
         resp.status = Status::Shed;
         resp.error = "draining";
         resp.retryAfterMs = options_.drainDeadlineMs;
+        resp.values["request.id"] = static_cast<double>(rid);
         return resp;
     }
     }
@@ -153,6 +216,7 @@ EvalService::call(const Request &req)
             task->cv.wait(lock.native());
         resp = task->resp;
     }
+    resp.values["request.id"] = static_cast<double>(rid);
     if (resp.status == Status::Ok)
         memoize(key, resp);
     return resp;
@@ -175,16 +239,36 @@ EvalService::workerLoop()
     TaskPtr task;
     while (queue_.pop(task)) {
         inflight_.fetch_add(1, std::memory_order_relaxed);
-        Response resp = execute(*task);
+        const uint64_t rid = task->ctx.requestId;
+        FlightRecorder::instance().record(
+            FlightRecorder::EventKind::Start, rid);
+        Response resp;
+        {
+            // Continue the request's tree on this thread: the
+            // execute span parents under the admit-side request
+            // span, and the flow step ties the two tracks together.
+            support::RequestSpan span(task->ctx, "server.execute");
+            if (support::traceEnabled())
+                support::TraceRecorder::instance().flowStep(
+                    "request", rid);
+            resp = execute(*task);
+        }
         switch (resp.status) {
         case Status::Ok:
             completed_.fetch_add(1, std::memory_order_relaxed);
+            FlightRecorder::instance().record(
+                FlightRecorder::EventKind::Finish, rid);
             break;
         case Status::DeadlineExceeded:
             deadline_.fetch_add(1, std::memory_order_relaxed);
+            FlightRecorder::instance().record(
+                FlightRecorder::EventKind::Deadline, rid);
             break;
         default:
             failed_.fetch_add(1, std::memory_order_relaxed);
+            FlightRecorder::instance().record(
+                FlightRecorder::EventKind::Fault, rid,
+                resp.error.c_str());
             break;
         }
         complete(*task, std::move(resp));
@@ -306,10 +390,74 @@ EvalService::statsResponse() const
     return resp;
 }
 
+Response
+EvalService::healthResponse() const
+{
+    Response resp;
+    resp.values["draining"] = draining() ? 1.0 : 0.0;
+    size_t depth = queue_.size();
+    size_t watermark = queue_.watermark();
+    resp.values["queue.depth"] = static_cast<double>(depth);
+    resp.values["queue.watermark"] = static_cast<double>(watermark);
+    resp.values["queue.occupancy"] =
+        watermark != 0 ? static_cast<double>(depth) /
+                             static_cast<double>(watermark)
+                       : 0.0;
+    resp.values["inflight"] = static_cast<double>(
+        inflight_.load(std::memory_order_relaxed));
+    resp.values["flight.recorded"] =
+        static_cast<double>(FlightRecorder::instance().recorded());
+    {
+        support::MutexLock lock(failuresMutex_);
+        resp.values["failures"] =
+            static_cast<double>(failures_.size());
+        if (!failures_.empty()) {
+            const auto &last = failures_.entries().back();
+            resp.body = "{\"key\":\"" + support::jsonEscape(last.design) +
+                        "\",\"stage\":\"" +
+                        support::jsonEscape(last.stage) +
+                        "\",\"error\":\"" +
+                        support::jsonEscape(last.reason) + "\"}";
+        }
+    }
+    return resp;
+}
+
+Response
+EvalService::dumpTraceResponse(const Request &req) const
+{
+    Response resp;
+    if (req.requestId == 0) {
+        resp.status = Status::BadRequest;
+        resp.error = "dump-trace needs request_id";
+        return resp;
+    }
+    const auto &recorder = support::TraceRecorder::instance();
+    resp.values["request.id"] = static_cast<double>(req.requestId);
+    resp.values["events"] = static_cast<double>(
+        recorder.requestEvents(req.requestId).size());
+    resp.values["trace.dropped"] =
+        static_cast<double>(recorder.droppedCount());
+    resp.body = recorder.requestJson(req.requestId);
+    return resp;
+}
+
+void
+EvalService::recordVerb(size_t verb, uint64_t start_ns) const
+{
+    uint64_t ns = support::monotonicNowNs() - start_ns;
+    VerbLatency &vl = verbLatency_[verb];
+    support::MutexLock lock(vl.mutex);
+    vl.ns[vl.count % VerbLatency::ringSize] = ns;
+    ++vl.count;
+}
+
 std::map<std::string, double>
 EvalService::statsValues() const
 {
     std::map<std::string, double> v;
+    v["requests.total"] = static_cast<double>(
+        requests_.load(std::memory_order_relaxed));
     v["accepted"] =
         static_cast<double>(accepted_.load(std::memory_order_relaxed));
     v["shed"] =
@@ -338,6 +486,42 @@ EvalService::statsValues() const
     v["cache.stores"] = static_cast<double>(cs.stores);
     v["cache.saves"] = static_cast<double>(cs.saves);
     v["cache.size"] = static_cast<double>(cache_.size());
+    auto shards = cache_.shardStats();
+    for (size_t k = 0; k < shards.size(); ++k) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "cache.shard%02zu.hits",
+                      k);
+        v[name] = static_cast<double>(shards[k].hits);
+        std::snprintf(name, sizeof(name), "cache.shard%02zu.misses",
+                      k);
+        v[name] = static_cast<double>(shards[k].misses);
+    }
+    for (size_t verb = 0; verb < VerbCount; ++verb) {
+        const VerbLatency &vl = verbLatency_[verb];
+        std::string prefix =
+            std::string("verb.") + verbKeyNames[verb];
+        uint64_t count;
+        std::vector<uint64_t> window;
+        {
+            support::MutexLock lock(vl.mutex);
+            count = vl.count;
+            size_t held = static_cast<size_t>(
+                std::min<uint64_t>(count, VerbLatency::ringSize));
+            window.assign(vl.ns.begin(), vl.ns.begin() + held);
+        }
+        v[prefix + ".count"] = static_cast<double>(count);
+        if (!window.empty()) {
+            std::sort(window.begin(), window.end());
+            v[prefix + ".p50_ns"] = static_cast<double>(
+                window[(window.size() - 1) * 50 / 100]);
+            v[prefix + ".p99_ns"] = static_cast<double>(
+                window[(window.size() - 1) * 99 / 100]);
+        }
+    }
+    v["flight.recorded"] =
+        static_cast<double>(FlightRecorder::instance().recorded());
+    v["trace.dropped"] = static_cast<double>(
+        support::TraceRecorder::instance().droppedCount());
     return v;
 }
 
@@ -382,6 +566,8 @@ EvalService::drain(uint64_t deadline_ms)
         drained_ = true;
     }
     draining_.store(true, std::memory_order_release);
+    FlightRecorder::instance().record(
+        FlightRecorder::EventKind::Drain, 0, "begin");
     inform("eval service draining (deadline ", deadline_ms, " ms, ",
            queue_.size(), " queued, ",
            inflight_.load(std::memory_order_relaxed), " in flight)");
@@ -410,9 +596,14 @@ EvalService::drain(uint64_t deadline_ms)
         auto stranded = queue_.closeAndDrain();
         for (const auto &task : stranded) {
             shed_.fetch_add(1, std::memory_order_relaxed);
+            FlightRecorder::instance().record(
+                FlightRecorder::EventKind::Shed,
+                task->ctx.requestId, "drain deadline");
             Response resp;
             resp.status = Status::Shed;
             resp.error = "drain deadline";
+            resp.values["request.id"] =
+                static_cast<double>(task->ctx.requestId);
             complete(*task, std::move(resp));
         }
         cancelAllLive();
@@ -433,6 +624,9 @@ EvalService::drain(uint64_t deadline_ms)
     } catch (const std::exception &e) {
         warn("drain-time cache flush failed: ", e.what());
     }
+    FlightRecorder::instance().record(
+        FlightRecorder::EventKind::Drain, 0,
+        graceful ? "graceful" : "deadline blown");
     inform("eval service drained",
            graceful ? "" : " (deadline blown)");
     {

@@ -36,11 +36,34 @@
  *    strands (answering every abandoned waiter), cancels in-flight
  *    work past the deadline, and flushes the cache. Nothing is
  *    silently dropped and nothing blocks forever.
+ *
+ * Observability model (request-scoped):
+ *
+ *  - every eval request is assigned a process-unique request id,
+ *    returned in values["request.id"] and stamped on every span and
+ *    flight-recorder event the request produces — on whichever
+ *    thread produced it. The admitting thread opens a request span
+ *    and a flow; the worker continues the flow and parents its
+ *    execute span under the admit span, so one request renders as a
+ *    single connected tree across threads in the exported trace;
+ *
+ *  - introspection verbs bypass admission (an overloaded server must
+ *    stay observable): "stats" reports every counter plus rolling
+ *    per-verb latency quantiles and the per-shard cache hit split,
+ *    "health" reports drain state, watermark occupancy and the last
+ *    recorded fault, "dump-trace" drains one request's span tree as
+ *    JSON (Request::requestId names it);
+ *
+ *  - every lifecycle transition (admit/shed/start/deadline/fault/
+ *    finish/drain) is also recorded in the always-on FlightRecorder,
+ *    so a post-mortem names the affected request ids even when
+ *    tracing and metrics were off.
  */
 
 #ifndef PICO_SERVER_EVAL_SERVICE_HPP
 #define PICO_SERVER_EVAL_SERVICE_HPP
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <map>
@@ -56,6 +79,7 @@
 #include "support/BoundedQueue.hpp"
 #include "support/CancelToken.hpp"
 #include "support/ThreadAnnotations.hpp"
+#include "support/TraceContext.hpp"
 
 namespace pico::server
 {
@@ -101,9 +125,10 @@ class EvalService
     /**
      * Handle one request, blocking until its terminal response.
      * Sheds immediately (without blocking) when the queue is at the
-     * watermark or the service is draining. "stats" and "ping"
-     * requests are answered inline, bypassing admission — operators
-     * must be able to observe an overloaded server.
+     * watermark or the service is draining. "stats", "health",
+     * "dump-trace" and "ping" requests are answered inline,
+     * bypassing admission — operators must be able to observe an
+     * overloaded server.
      */
     Response call(const Request &req);
 
@@ -142,12 +167,37 @@ class EvalService
 
         Request req;
         support::CancelToken token;
+        /** Originating request's trace context (request id + the
+         *  admit span as parent), installed by the worker so its
+         *  spans join the request's tree. */
+        support::TraceContext ctx;
         support::Mutex mutex;
         std::condition_variable cv;
         bool done PICO_GUARDED_BY(mutex) = false;
         Response resp PICO_GUARDED_BY(mutex);
     };
     using TaskPtr = std::shared_ptr<Task>;
+
+    /** Latency buckets: one rolling ring per protocol verb. */
+    enum Verb : size_t
+    {
+        VerbEval = 0,
+        VerbStats,
+        VerbHealth,
+        VerbDumpTrace,
+        VerbPing,
+        VerbCount,
+    };
+
+    /** Rolling latency samples of one verb; quantiles computed at
+     *  read time from whatever the ring currently holds. */
+    struct VerbLatency
+    {
+        static constexpr size_t ringSize = 512;
+        mutable support::Mutex mutex;
+        std::array<uint64_t, ringSize> ns PICO_GUARDED_BY(mutex){};
+        uint64_t count PICO_GUARDED_BY(mutex) = 0;
+    };
 
     void workerLoop();
     /** Run one task's evaluation; fills the response. */
@@ -157,7 +207,13 @@ class EvalService
     /** The profiled program of an app (memoized per app name). */
     std::shared_ptr<const ir::Program>
     programFor(const std::string &app);
+    /** The admission/wait path of one eval request. */
+    Response evalCall(const Request &req);
     Response statsResponse() const;
+    Response healthResponse() const;
+    Response dumpTraceResponse(const Request &req) const;
+    /** Record one verb sample: now minus `start_ns`. */
+    void recordVerb(size_t verb, uint64_t start_ns) const;
     void memoize(const std::string &key, const Response &resp);
     bool memoLookup(const std::string &key, Response &resp) const;
     /** Cancel the token of every live (queued or running) task. */
@@ -197,7 +253,12 @@ class EvalService
     bool drained_ PICO_GUARDED_BY(drainMutex_) = false;
     bool drainVerdict_ PICO_GUARDED_BY(drainMutex_) = true;
 
+    /** Per-verb latency rings (mutable: reads also sample). */
+    mutable std::array<VerbLatency, VerbCount> verbLatency_;
+
     std::atomic<bool> draining_{false};
+    /** Eval requests received (memo hits and sheds included). */
+    std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> accepted_{0};
     std::atomic<uint64_t> shed_{0};
     std::atomic<uint64_t> completed_{0};

@@ -154,6 +154,8 @@ encodeRequest(const Request &req)
     putLine(out, "deadline_ms", req.deadlineMs);
     if (!req.key.empty())
         putLine(out, "key", req.key);
+    if (req.requestId != 0)
+        putLine(out, "request_id", req.requestId);
     return out;
 }
 
@@ -169,7 +171,8 @@ decodeRequest(const std::string &payload, Request &req,
     getString(kv, "machines", req.machines);
     getString(kv, "key", req.key);
     return parseU64(kv, "trace_blocks", req.traceBlocks, error) &&
-           parseU64(kv, "deadline_ms", req.deadlineMs, error);
+           parseU64(kv, "deadline_ms", req.deadlineMs, error) &&
+           parseU64(kv, "request_id", req.requestId, error);
 }
 
 std::string
@@ -189,6 +192,15 @@ encodeResponse(const Response &resp)
     }
     if (resp.retryAfterMs != 0)
         putLine(out, "retry_after_ms", resp.retryAfterMs);
+    if (!resp.body.empty()) {
+        // The body travels on one line, like the error.
+        std::string flat = resp.body;
+        for (char &c : flat) {
+            if (c == '\n')
+                c = ' ';
+        }
+        putLine(out, "body", flat);
+    }
     for (const auto &[k, v] : resp.values)
         putLine(out, "v." + k, numToString(v));
     return out;
@@ -213,6 +225,7 @@ decodeResponse(const std::string &payload, Response &resp,
         return false;
     }
     getString(kv, "error", resp.error);
+    getString(kv, "body", resp.body);
     if (!parseU64(kv, "retry_after_ms", resp.retryAfterMs, error))
         return false;
     for (const auto &[k, v] : kv) {

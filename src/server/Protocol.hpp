@@ -35,10 +35,10 @@ inline constexpr const char *responseTag = "picoeval-resp-v1";
 /** Upper bound on one frame's payload (defensive framing limit). */
 inline constexpr uint32_t maxFrameBytes = 1u << 20;
 
-/** One evaluation (or stats/ping) request. */
+/** One evaluation (or introspection) request. */
 struct Request
 {
-    /** "eval", "stats" or "ping". */
+    /** "eval", "stats", "health", "dump-trace" or "ping". */
     std::string type = "eval";
     /** Application name (suite member, see workloads::specByName). */
     std::string app = "rasta";
@@ -55,6 +55,13 @@ struct Request
      * so plain retries are idempotent by default.
      */
     std::string key;
+    /**
+     * Server-assigned request id being queried (dump-trace only).
+     * Eval responses return the id they were assigned in
+     * values["request.id"]; passing it back here drains that
+     * request's span tree.
+     */
+    uint64_t requestId = 0;
 
     /** The effective idempotency key (key, or derived). */
     std::string idempotencyKey() const;
@@ -92,6 +99,12 @@ struct Response
      * responses carry the server counters.
      */
     std::map<std::string, double> values;
+    /**
+     * Free-form single-line document payload. dump-trace returns the
+     * request's trace JSON here; health returns the last-fault
+     * record. Must not contain newlines (the encoder flattens them).
+     */
+    std::string body;
 };
 
 /** @name Payload encoding (framing-independent, testable inline)

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "support/Logging.hpp"
+#include "support/TraceEvents.hpp"
 
 namespace pico::server
 {
@@ -90,6 +91,9 @@ Server::run()
 void
 Server::handleConnection(int fd)
 {
+    // Admit-side spans (server.request) land on this track.
+    support::TraceRecorder::instance().nameThisThread(
+        "server-conn-" + std::to_string(fd));
     std::string payload;
     while (readFrame(fd, payload)) {
         Request req;

@@ -82,6 +82,19 @@ setLogLevel(LogLevel level)
                       std::memory_order_relaxed);
 }
 
+namespace
+{
+
+std::atomic<FatalHook> fatalHook{nullptr};
+
+} // namespace
+
+void
+setFatalHook(FatalHook hook)
+{
+    fatalHook.store(hook, std::memory_order_relaxed);
+}
+
 namespace detail
 {
 
@@ -91,6 +104,25 @@ emitMessage(LogLevel level, const char *label, const std::string &msg)
     if (logLevel() > level)
         return;
     writeLine(label, msg);
+}
+
+void
+notifyFatal(const char *label, const std::string &msg)
+{
+    FatalHook hook = fatalHook.load(std::memory_order_relaxed);
+    if (hook == nullptr)
+        return;
+    // A hook that itself panics/fatals must not recurse forever.
+    static thread_local bool inHook = false;
+    if (inHook)
+        return;
+    inHook = true;
+    try {
+        hook(label, msg);
+    } catch (...) {
+        // The process is already dying; the original error wins.
+    }
+    inHook = false;
 }
 
 } // namespace detail

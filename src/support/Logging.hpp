@@ -46,6 +46,18 @@ LogLevel logLevel();
 /** Override the minimum severity (wins over PICOEVAL_LOG_LEVEL). */
 void setLogLevel(LogLevel level);
 
+/**
+ * Callback invoked (once, before the throw) by every panic()/fatal()
+ * with the severity label and message. Servers install one to dump
+ * the flight recorder at the moment of death. The hook runs on the
+ * failing thread; exceptions it throws are swallowed, and a hook
+ * that itself panics does not recurse.
+ */
+using FatalHook = void (*)(const char *label, const std::string &msg);
+
+/** Install (or clear, with nullptr) the process-wide fatal hook. */
+void setFatalHook(FatalHook hook);
+
 /** Exception thrown by panic(); signals an internal library bug. */
 class PanicError : public std::logic_error
 {
@@ -80,6 +92,9 @@ concat(Args &&...args)
 void emitMessage(LogLevel level, const char *label,
                  const std::string &msg);
 
+/** Run the installed FatalHook, guarding against recursion. */
+void notifyFatal(const char *label, const std::string &msg);
+
 } // namespace detail
 
 /**
@@ -92,6 +107,7 @@ panic(Args &&...args)
 {
     std::string msg = detail::concat(std::forward<Args>(args)...);
     detail::emitMessage(LogLevel::Error, "panic", msg);
+    detail::notifyFatal("panic", msg);
     throw PanicError(msg);
 }
 
@@ -105,6 +121,7 @@ fatal(Args &&...args)
 {
     std::string msg = detail::concat(std::forward<Args>(args)...);
     detail::emitMessage(LogLevel::Error, "fatal", msg);
+    detail::notifyFatal("fatal", msg);
     throw FatalError(msg);
 }
 

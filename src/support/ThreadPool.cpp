@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "support/Logging.hpp"
+#include "support/TraceContext.hpp"
 #include "support/TraceEvents.hpp"
 
 namespace pico::support
@@ -42,10 +43,18 @@ ThreadPool::submit(std::function<void()> task)
 {
     panicIf(threads_.empty(),
             "task submitted to a zero-worker thread pool");
+    // Capture the submitter's TraceContext so work executed on a
+    // worker stays attributed to the request that scheduled it.
+    TraceContext ctx = currentTraceContext();
+    std::function<void()> wrapped =
+        [ctx, inner = std::move(task)] {
+            TraceContextScope scope(ctx);
+            inner();
+        };
     {
         MutexLock lock(mutex_);
         panicIf(stop_, "task submitted to a stopping thread pool");
-        queue_.push_back(std::move(task));
+        queue_.push_back(std::move(wrapped));
     }
     cv_.notify_one();
 }

@@ -1,0 +1,54 @@
+#include "support/TraceContext.hpp"
+
+#include <atomic>
+
+namespace pico::support
+{
+
+namespace
+{
+
+thread_local TraceContext tlsContext;
+
+std::atomic<uint64_t> nextRequestId{0};
+std::atomic<uint64_t> nextSpanId{0};
+
+} // namespace
+
+const TraceContext &
+currentTraceContext()
+{
+    return tlsContext;
+}
+
+uint64_t
+newRequestId()
+{
+    return nextRequestId.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t
+newSpanId()
+{
+    return nextSpanId.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+namespace detail
+{
+
+TraceContext
+exchangeTraceContext(const TraceContext &ctx)
+{
+    TraceContext prev = tlsContext;
+    tlsContext = ctx;
+    return prev;
+}
+
+void
+setCurrentSpanId(uint64_t span_id)
+{
+    tlsContext.spanId = span_id;
+}
+
+} // namespace detail
+} // namespace pico::support

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Request-scoped trace context: which request is this thread
+ * working for, and under which span?
+ *
+ * The serving layer multiplexes many concurrent requests over a few
+ * worker threads, so a per-thread trace track alone cannot say which
+ * request a span or metric belongs to. A TraceContext carries the
+ * two identifiers that make attribution possible:
+ *
+ *  - requestId: allocated once per request at admission, threaded
+ *    through queues and thread pools with the work itself;
+ *  - spanId: the innermost open span on this thread, so a span
+ *    opened below it records that span as its parent — across
+ *    threads, one request reconstructs as a single connected tree.
+ *
+ * The context is *thread-local and observational*: installing or
+ * reading it never feeds back into evaluation results, so the
+ * bit-identical determinism contract of the parallel walk is
+ * untouched. Propagation is push-based: whoever hands work to
+ * another thread (ThreadPool::submit, the eval service's task queue)
+ * captures currentTraceContext() and installs it around the work
+ * with a TraceContextScope.
+ */
+
+#ifndef PICO_SUPPORT_TRACE_CONTEXT_HPP
+#define PICO_SUPPORT_TRACE_CONTEXT_HPP
+
+#include <cstdint>
+
+namespace pico::support
+{
+
+/** Identity of the request a thread is currently attributed to. */
+struct TraceContext
+{
+    /** Request this work belongs to (0 = unattributed). */
+    uint64_t requestId = 0;
+    /** Innermost open span (the parent of spans opened below). */
+    uint64_t spanId = 0;
+
+    bool active() const { return requestId != 0; }
+};
+
+/** The calling thread's context ({0,0} when unattributed). */
+const TraceContext &currentTraceContext();
+
+/** Allocate a process-unique request id (monotonic, never 0). */
+uint64_t newRequestId();
+
+/** Allocate a process-unique span id (monotonic, never 0). */
+uint64_t newSpanId();
+
+namespace detail
+{
+/** Replace the thread's context wholesale; returns the previous. */
+TraceContext exchangeTraceContext(const TraceContext &ctx);
+/** Rewrite only the span-parent field of the thread's context. */
+void setCurrentSpanId(uint64_t span_id);
+} // namespace detail
+
+/**
+ * RAII: install `ctx` as the calling thread's context for one scope
+ * and restore the previous context on exit. Install one around any
+ * work executed on behalf of another thread's request.
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(const TraceContext &ctx)
+        : saved_(detail::exchangeTraceContext(ctx))
+    {}
+
+    ~TraceContextScope() { detail::exchangeTraceContext(saved_); }
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    TraceContext saved_;
+};
+
+} // namespace pico::support
+
+#endif // PICO_SUPPORT_TRACE_CONTEXT_HPP

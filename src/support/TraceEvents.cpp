@@ -1,8 +1,10 @@
 #include "support/TraceEvents.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "support/Logging.hpp"
@@ -71,23 +73,47 @@ TraceRecorder::localBuf()
 }
 
 void
+TraceRecorder::append(ThreadBuf &buf, Event event)
+{
+    MutexLock lock(buf.mutex);
+    if (buf.events.size() >= maxEventsPerThread) {
+        // Bounded buffers: a long-lived server must not grow without
+        // limit. The drop is counted so dumps can say "incomplete".
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buf.events.push_back(std::move(event));
+}
+
+void
 TraceRecorder::nameThisThread(const std::string &name)
 {
     auto &buf = localBuf();
     MutexLock lock(buf.mutex);
     buf.name = name;
+    buf.named = true;
+}
+
+void
+TraceRecorder::nameThisThreadDefault(const std::string &name)
+{
+    auto &buf = localBuf();
+    MutexLock lock(buf.mutex);
+    if (!buf.named)
+        buf.name = name;
 }
 
 void
 TraceRecorder::complete(const std::string &name, const char *category,
-                        uint64_t start_ns, uint64_t duration_ns)
+                        uint64_t start_ns, uint64_t duration_ns,
+                        uint64_t request_id, uint64_t span_id,
+                        uint64_t parent_span_id)
 {
     if (!traceEnabled())
         return;
-    auto &buf = localBuf();
-    MutexLock lock(buf.mutex);
-    buf.events.push_back(
-        Event{name, category, 'X', start_ns, duration_ns});
+    append(localBuf(), Event{name, category, 'X', start_ns,
+                             duration_ns, request_id, span_id,
+                             parent_span_id, 0});
 }
 
 void
@@ -95,10 +121,55 @@ TraceRecorder::instant(const std::string &name, const char *category)
 {
     if (!traceEnabled())
         return;
-    auto &buf = localBuf();
-    MutexLock lock(buf.mutex);
-    buf.events.push_back(
-        Event{name, category, 'i', monotonicNowNs(), 0});
+    const TraceContext &ctx = currentTraceContext();
+    append(localBuf(), Event{name, category, 'i', monotonicNowNs(), 0,
+                             ctx.requestId, 0, ctx.spanId, 0});
+}
+
+void
+TraceRecorder::flowStart(const std::string &name, uint64_t flow_id)
+{
+    if (!traceEnabled())
+        return;
+    const TraceContext &ctx = currentTraceContext();
+    append(localBuf(), Event{name, "flow", 's', monotonicNowNs(), 0,
+                             ctx.requestId, 0, ctx.spanId, flow_id});
+}
+
+void
+TraceRecorder::flowStep(const std::string &name, uint64_t flow_id)
+{
+    if (!traceEnabled())
+        return;
+    const TraceContext &ctx = currentTraceContext();
+    append(localBuf(), Event{name, "flow", 't', monotonicNowNs(), 0,
+                             ctx.requestId, 0, ctx.spanId, flow_id});
+}
+
+void
+TraceRecorder::writeEvent(std::ostream &out, const Event &e,
+                          uint32_t tid)
+{
+    out << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
+        << jsonEscape(e.category) << "\",\"ts\":";
+    writeMicros(out, e.tsNs);
+    if (e.phase == 'X') {
+        out << ",\"dur\":";
+        writeMicros(out, e.durNs);
+    } else if (e.phase == 's' || e.phase == 't') {
+        out << ",\"id\":" << e.flowId;
+        if (e.phase == 't')
+            out << ",\"bp\":\"e\"";
+    } else {
+        out << ",\"s\":\"t\"";
+    }
+    if (e.requestId != 0 || e.spanId != 0) {
+        out << ",\"args\":{\"request\":" << e.requestId
+            << ",\"span\":" << e.spanId << ",\"parent\":"
+            << e.parentSpanId << "}";
+    }
+    out << "}";
 }
 
 bool
@@ -127,18 +198,7 @@ TraceRecorder::writeJson(const std::string &path) const
             << jsonEscape(buf->name) << "\"}}";
         for (const auto &e : buf->events) {
             sep();
-            out << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":"
-                << buf->tid << ",\"name\":\"" << jsonEscape(e.name)
-                << "\",\"cat\":\"" << jsonEscape(e.category)
-                << "\",\"ts\":";
-            writeMicros(out, e.tsNs);
-            if (e.phase == 'X') {
-                out << ",\"dur\":";
-                writeMicros(out, e.durNs);
-            } else {
-                out << ",\"s\":\"t\"";
-            }
-            out << "}";
+            writeEvent(out, e, buf->tid);
         }
     }
     out << "\n]}\n";
@@ -150,6 +210,56 @@ TraceRecorder::writeJson(const std::string &path) const
     return true;
 }
 
+std::vector<TraceRecorder::RequestEvent>
+TraceRecorder::requestEvents(uint64_t request_id) const
+{
+    std::vector<RequestEvent> out;
+    MutexLock lock(mutex_);
+    for (const auto &buf : bufs_) {
+        MutexLock bufLock(buf->mutex);
+        for (const auto &e : buf->events) {
+            if (e.requestId != request_id)
+                continue;
+            RequestEvent re;
+            re.tid = buf->tid;
+            re.name = e.name;
+            re.phase = e.phase;
+            re.tsNs = e.tsNs;
+            re.durNs = e.durNs;
+            re.spanId = e.spanId;
+            re.parentSpanId = e.parentSpanId;
+            out.push_back(std::move(re));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RequestEvent &a, const RequestEvent &b) {
+                  return a.tsNs < b.tsNs;
+              });
+    return out;
+}
+
+std::string
+TraceRecorder::requestJson(uint64_t request_id) const
+{
+    std::ostringstream out;
+    out << "{\"request\":" << request_id << ",\"traceEvents\":[";
+    bool first = true;
+    MutexLock lock(mutex_);
+    for (const auto &buf : bufs_) {
+        MutexLock bufLock(buf->mutex);
+        for (const auto &e : buf->events) {
+            if (e.requestId != request_id)
+                continue;
+            if (!first)
+                out << ",";
+            first = false;
+            writeEvent(out, e, buf->tid);
+        }
+    }
+    out << "]}";
+    return out.str();
+}
+
 void
 TraceRecorder::clear()
 {
@@ -158,6 +268,7 @@ TraceRecorder::clear()
         MutexLock bufLock(buf->mutex);
         buf->events.clear();
     }
+    dropped_.store(0, std::memory_order_relaxed);
 }
 
 size_t
@@ -181,14 +292,27 @@ TimedSpan::TimedSpan(std::string name, const char *category,
 {
 #if PICOEVAL_METRICS
     active_ = metricsEnabled() || traceEnabled();
-    if (active_)
+    if (active_) {
         startNs_ = monotonicNowNs();
+        if (traceEnabled()) {
+            // Install this span as the thread's current span so
+            // spans opened inside it record it as their parent.
+            tracing_ = true;
+            const TraceContext &ctx = currentTraceContext();
+            requestId_ = ctx.requestId;
+            parentSpanId_ = ctx.spanId;
+            spanId_ = newSpanId();
+            detail::setCurrentSpanId(spanId_);
+        }
+    }
 #endif
 }
 
 TimedSpan::~TimedSpan()
 {
 #if PICOEVAL_METRICS
+    if (tracing_)
+        detail::setCurrentSpanId(parentSpanId_);
     if (!active_)
         return;
     uint64_t dur = monotonicNowNs() - startNs_;
@@ -197,9 +321,10 @@ TimedSpan::~TimedSpan()
             .histogram(metric_.empty() ? name_ + ".ns" : metric_)
             .observe(dur);
     }
-    if (traceEnabled())
+    if (tracing_ && traceEnabled())
         TraceRecorder::instance().complete(name_, category_,
-                                           startNs_, dur);
+                                           startNs_, dur, requestId_,
+                                           spanId_, parentSpanId_);
 #endif
 }
 

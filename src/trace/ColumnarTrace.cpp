@@ -10,6 +10,7 @@
 
 #include "support/FaultInjection.hpp"
 #include "support/Metrics.hpp"
+#include "support/TraceEvents.hpp"
 #include "trace/TraceErrors.hpp"
 
 namespace pico::trace
@@ -394,6 +395,10 @@ ColumnarTraceWriter::close()
 {
     if (!out_.is_open())
         return;
+    // Sealing is the writer's one heavyweight step (index + header
+    // patch + flush); traced so a request stalled here is visible —
+    // and attributed to its request via the thread's TraceContext.
+    support::TimedSpan span("trace.seal", "trace");
     support::faultPoint("ColumnarTraceWriter::close:before-index");
     flushBlock();
     uint64_t index_offset = static_cast<uint64_t>(out_.tellp());

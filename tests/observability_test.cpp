@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Request-scoped observability primitives: TraceContext propagation,
+ * span parentage and flow events in the TraceRecorder, the flight
+ * recorder ring, and the fatal hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/FlightRecorder.hpp"
+#include "support/Logging.hpp"
+#include "support/Metrics.hpp"
+#include "support/ThreadPool.hpp"
+#include "support/TraceContext.hpp"
+#include "support/TraceEvents.hpp"
+
+using namespace pico;
+using support::FlightRecorder;
+
+namespace
+{
+
+/** Fresh global recorder state for each trace-focused test. */
+struct TraceGuard
+{
+    TraceGuard()
+    {
+        support::TraceRecorder::instance().clear();
+        support::setTraceEnabled(true);
+    }
+    ~TraceGuard()
+    {
+        support::setTraceEnabled(false);
+        support::TraceRecorder::instance().clear();
+    }
+};
+
+} // namespace
+
+TEST(TraceContext, IdsAreUniqueAndNonZero)
+{
+    uint64_t a = support::newRequestId();
+    uint64_t b = support::newRequestId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_NE(support::newSpanId(), 0u);
+}
+
+TEST(TraceContext, ScopeInstallsAndRestores)
+{
+    EXPECT_FALSE(support::currentTraceContext().active());
+    {
+        support::TraceContextScope outer(
+            support::TraceContext{7, 70});
+        EXPECT_EQ(support::currentTraceContext().requestId, 7u);
+        EXPECT_EQ(support::currentTraceContext().spanId, 70u);
+        {
+            support::TraceContextScope inner(
+                support::TraceContext{8, 80});
+            EXPECT_EQ(support::currentTraceContext().requestId, 8u);
+        }
+        EXPECT_EQ(support::currentTraceContext().requestId, 7u);
+        EXPECT_EQ(support::currentTraceContext().spanId, 70u);
+    }
+    EXPECT_FALSE(support::currentTraceContext().active());
+}
+
+TEST(TraceContext, ThreadPoolPropagatesSubmitterContext)
+{
+    support::ThreadPool pool(2);
+    std::atomic<uint64_t> seen{0};
+    {
+        support::TraceContextScope scope(
+            support::TraceContext{42, 420});
+        pool.submit([&seen] {
+            seen.store(support::currentTraceContext().requestId);
+        });
+    }
+    // The pool destructor joins after draining; spin until the task
+    // ran (bounded by the test timeout).
+    while (seen.load() == 0)
+        std::this_thread::yield();
+    EXPECT_EQ(seen.load(), 42u);
+}
+
+TEST(TraceRecorder, SpansCarryRequestIdentityAndParentage)
+{
+    TraceGuard guard;
+    const uint64_t rid = support::newRequestId();
+    {
+        support::RequestSpan request(support::TraceContext{rid, 0},
+                                     "outer");
+        { support::TimedSpan nested("inner", "test"); }
+    }
+    auto events =
+        support::TraceRecorder::instance().requestEvents(rid);
+    ASSERT_EQ(events.size(), 2u);
+    // Span events sort by start time: outer opened first.
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[1].name, "inner");
+    // outer is the root; inner's parent is outer's span id.
+    EXPECT_EQ(events[0].parentSpanId, 0u);
+    EXPECT_EQ(events[1].parentSpanId, events[0].spanId);
+    EXPECT_NE(events[0].spanId, events[1].spanId);
+}
+
+TEST(TraceRecorder, RequestTreeConnectsAcrossThreads)
+{
+    TraceGuard guard;
+    const uint64_t rid = support::newRequestId();
+    support::TraceContext handoff;
+    {
+        support::RequestSpan admit(support::TraceContext{rid, 0},
+                                   "admit");
+        support::TraceRecorder::instance().flowStart("request", rid);
+        handoff = admit.context();
+        std::thread worker([&handoff, rid] {
+            support::RequestSpan execute(handoff, "execute");
+            support::TraceRecorder::instance().flowStep("request",
+                                                        rid);
+        });
+        worker.join();
+    }
+    auto events =
+        support::TraceRecorder::instance().requestEvents(rid);
+    // admit span + flow start + execute span + flow step.
+    ASSERT_EQ(events.size(), 4u);
+    uint64_t admit_span = 0, admit_tid = 0;
+    uint64_t exec_parent = 0, exec_tid = 0;
+    bool saw_flow_start = false, saw_flow_step = false;
+    for (const auto &e : events) {
+        if (e.name == "admit") {
+            admit_span = e.spanId;
+            admit_tid = e.tid;
+        } else if (e.name == "execute") {
+            exec_parent = e.parentSpanId;
+            exec_tid = e.tid;
+        } else if (e.phase == 's') {
+            saw_flow_start = true;
+        } else if (e.phase == 't') {
+            saw_flow_step = true;
+        }
+    }
+    // One connected tree spanning two thread tracks.
+    EXPECT_EQ(exec_parent, admit_span);
+    EXPECT_NE(exec_tid, admit_tid);
+    EXPECT_TRUE(saw_flow_start);
+    EXPECT_TRUE(saw_flow_step);
+    // The single-request JSON dump carries all four events.
+    std::string json =
+        support::TraceRecorder::instance().requestJson(rid);
+    EXPECT_NE(json.find("\"request\":" + std::to_string(rid)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+}
+
+TEST(TraceRecorder, PerThreadBufferIsBounded)
+{
+    TraceGuard guard;
+    auto &rec = support::TraceRecorder::instance();
+    const uint64_t dropped_before = rec.droppedCount();
+    for (size_t i = 0;
+         i < support::TraceRecorder::maxEventsPerThread + 10; ++i)
+        rec.instant("e", "test");
+    EXPECT_LE(rec.eventCount(),
+              support::TraceRecorder::maxEventsPerThread);
+    EXPECT_GE(rec.droppedCount(), dropped_before + 10);
+}
+
+TEST(FlightRecorder, RoundTripsKindsIdsAndDetails)
+{
+    auto &fr = FlightRecorder::instance();
+    fr.resetForTest();
+    fr.record(FlightRecorder::EventKind::Admit, 1);
+    fr.record(FlightRecorder::EventKind::Shed, 2,
+              "queue at watermark");
+    fr.record(FlightRecorder::EventKind::Fault, 3,
+              "this detail string is much longer than the slot can "
+              "hold and must be truncated");
+    auto events = fr.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].kind, FlightRecorder::EventKind::Admit);
+    EXPECT_EQ(events[0].requestId, 1u);
+    EXPECT_EQ(events[1].detail, "queue at watermark");
+    EXPECT_EQ(events[2].detail.size(),
+              FlightRecorder::maxDetailBytes);
+    // Timestamps are monotone (snapshot sorts by them).
+    EXPECT_LE(events[0].tsNs, events[1].tsNs);
+    EXPECT_LE(events[1].tsNs, events[2].tsNs);
+    std::string json = fr.toJson();
+    EXPECT_NE(json.find("picoeval-flight-v1"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"shed\""), std::string::npos);
+    EXPECT_NE(json.find("\"request\":2"), std::string::npos);
+}
+
+TEST(FlightRecorder, RingOverwritesOldestButCountsEverything)
+{
+    auto &fr = FlightRecorder::instance();
+    fr.resetForTest();
+    const uint64_t n = FlightRecorder::ringCapacity + 100;
+    for (uint64_t i = 1; i <= n; ++i)
+        fr.record(FlightRecorder::EventKind::Finish, i);
+    EXPECT_EQ(fr.recorded(), n);
+    auto events = fr.snapshot();
+    EXPECT_EQ(events.size(), FlightRecorder::ringCapacity);
+    // Only the newest capacity-many events survive.
+    uint64_t min_id = n;
+    for (const auto &e : events)
+        min_id = std::min(min_id, e.requestId);
+    EXPECT_EQ(min_id, n - FlightRecorder::ringCapacity + 1);
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndReadersStayConsistent)
+{
+    auto &fr = FlightRecorder::instance();
+    fr.resetForTest();
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w) {
+        writers.emplace_back([&fr, w] {
+            for (uint64_t i = 0; i < 3000; ++i)
+                fr.record(FlightRecorder::EventKind::Start,
+                          static_cast<uint64_t>(w) * 10000 + i,
+                          "concurrent");
+        });
+    }
+    std::thread reader([&fr, &stop] {
+        while (!stop.load()) {
+            auto events = fr.snapshot();
+            for (const auto &e : events) {
+                // A torn event would show a garbled kind/detail.
+                ASSERT_EQ(e.kind, FlightRecorder::EventKind::Start);
+                ASSERT_EQ(e.detail, "concurrent");
+            }
+        }
+    });
+    for (auto &t : writers)
+        t.join();
+    stop.store(true);
+    reader.join();
+    EXPECT_EQ(fr.recorded(), 4u * 3000u);
+}
+
+namespace
+{
+
+std::atomic<int> g_hook_calls{0};
+std::string g_hook_label;
+
+void
+countingHook(const char *label, const std::string &)
+{
+    ++g_hook_calls;
+    g_hook_label = label;
+}
+
+void
+recursiveHook(const char *, const std::string &)
+{
+    ++g_hook_calls;
+    // A hook that itself dies must not recurse through notifyFatal.
+    panic("hook panics");
+}
+
+} // namespace
+
+TEST(FatalHook, RunsOncePerFatalAndReportsLabel)
+{
+    g_hook_calls = 0;
+    setFatalHook(countingHook);
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_EQ(g_hook_calls.load(), 1);
+    EXPECT_EQ(g_hook_label, "fatal");
+    EXPECT_THROW(panic("bang"), PanicError);
+    EXPECT_EQ(g_hook_calls.load(), 2);
+    EXPECT_EQ(g_hook_label, "panic");
+    setFatalHook(nullptr);
+    EXPECT_THROW(fatal("silent"), FatalError);
+    EXPECT_EQ(g_hook_calls.load(), 2);
+}
+
+TEST(FatalHook, HookFailureNeitherRecursesNorMasksTheError)
+{
+    g_hook_calls = 0;
+    setFatalHook(recursiveHook);
+    // The original FatalError must surface; the hook's own panic is
+    // swallowed and the recursion guard stops the nested notify.
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_EQ(g_hook_calls.load(), 1);
+    setFatalHook(nullptr);
+}

@@ -14,8 +14,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "server/Client.hpp"
@@ -24,6 +27,8 @@
 #include "server/Server.hpp"
 #include "support/Backoff.hpp"
 #include "support/FaultInjection.hpp"
+#include "support/FlightRecorder.hpp"
+#include "support/TraceEvents.hpp"
 #include "verify/ResultVerifier.hpp"
 
 namespace pico
@@ -157,6 +162,34 @@ TEST(Protocol, IdempotencyKeyDerivedFromRequestFields)
     EXPECT_NE(a.idempotencyKey(), b.idempotencyKey());
     b.key = "pinned";
     EXPECT_EQ(b.idempotencyKey(), "pinned");
+}
+
+TEST(Protocol, RequestIdAndBodyRoundTrip)
+{
+    Request req = smallEval();
+    req.requestId = 987654321;
+    Request req_out;
+    std::string error;
+    ASSERT_TRUE(server::decodeRequest(server::encodeRequest(req),
+                                      req_out, error))
+        << error;
+    EXPECT_EQ(req_out.requestId, 987654321u);
+    // request_id is omitted from the wire when unset.
+    EXPECT_EQ(server::encodeRequest(smallEval()).find("request_id"),
+              std::string::npos);
+
+    Response resp;
+    resp.body = "{\"kind\":\"fault\"}";
+    Response resp_out;
+    ASSERT_TRUE(server::decodeResponse(server::encodeResponse(resp),
+                                       resp_out, error))
+        << error;
+    EXPECT_EQ(resp_out.body, "{\"kind\":\"fault\"}");
+    // A body with embedded newlines is flattened, like the error.
+    resp.body = "two\nlines";
+    ASSERT_TRUE(server::decodeResponse(server::encodeResponse(resp),
+                                       resp_out, error));
+    EXPECT_EQ(resp_out.body, "two lines");
 }
 
 // ---------------------------------------------------------------
@@ -338,6 +371,279 @@ TEST(EvalService, DrainAnswersEveryWaiterAndIsIdempotent)
 }
 
 // ---------------------------------------------------------------
+// Introspection verbs: stats, health, dump-trace
+// ---------------------------------------------------------------
+
+TEST(Introspection, StatsReportsPerVerbLatencies)
+{
+    EvalService service(fastOptions());
+    ASSERT_EQ(service.call(smallEval()).status, Status::Ok);
+    Request ping;
+    ping.type = "ping";
+    service.call(ping);
+
+    Request stats;
+    stats.type = "stats";
+    // A verb's latency is recorded after its response is built, so
+    // the first stats response cannot include its own sample...
+    Response first = service.call(stats);
+    ASSERT_EQ(first.status, Status::Ok);
+    EXPECT_DOUBLE_EQ(first.values["verb.stats.count"], 0.0);
+    EXPECT_DOUBLE_EQ(first.values["verb.eval.count"], 1.0);
+    EXPECT_DOUBLE_EQ(first.values["verb.ping.count"], 1.0);
+    EXPECT_GT(first.values["verb.eval.p50_ns"], 0.0);
+    EXPECT_GE(first.values["verb.eval.p99_ns"],
+              first.values["verb.eval.p50_ns"]);
+    // ...but the second one sees the first.
+    Response second = service.call(stats);
+    EXPECT_DOUBLE_EQ(second.values["verb.stats.count"], 1.0);
+    EXPECT_GT(second.values["verb.stats.p50_ns"], 0.0);
+    // The per-shard cache split sums to the aggregate counters.
+    double shard_hits = 0, shard_misses = 0;
+    for (int s = 0; s < 16; ++s) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "cache.shard%02d.hits", s);
+        shard_hits += second.values[name];
+        std::snprintf(name, sizeof(name), "cache.shard%02d.misses",
+                      s);
+        shard_misses += second.values[name];
+    }
+    EXPECT_DOUBLE_EQ(shard_hits, second.values["cache.hits"]);
+    EXPECT_DOUBLE_EQ(shard_misses, second.values["cache.misses"]);
+}
+
+TEST(Introspection, HealthReportsOccupancyAndLastFault)
+{
+    EvalService service(fastOptions());
+    Request health;
+    health.type = "health";
+    Response fresh = service.call(health);
+    ASSERT_EQ(fresh.status, Status::Ok);
+    EXPECT_DOUBLE_EQ(fresh.values["draining"], 0.0);
+    EXPECT_DOUBLE_EQ(fresh.values["queue.depth"], 0.0);
+    EXPECT_DOUBLE_EQ(fresh.values["queue.occupancy"], 0.0);
+    EXPECT_DOUBLE_EQ(fresh.values["failures"], 0.0);
+    EXPECT_TRUE(fresh.body.empty());
+
+    Request bad = smallEval();
+    bad.app = "no-such-app";
+    ASSERT_EQ(service.call(bad).status, Status::Failed);
+    Response after = service.call(health);
+    EXPECT_DOUBLE_EQ(after.values["failures"], 1.0);
+    // The last-fault record travels as a JSON body.
+    EXPECT_NE(after.body.find("\"stage\":\"execute\""),
+              std::string::npos);
+    EXPECT_NE(after.body.find("no-such-app"), std::string::npos);
+}
+
+TEST(Introspection, DumpTraceReconstructsOneRequestAcrossThreads)
+{
+    support::TraceRecorder::instance().clear();
+    support::setTraceEnabled(true);
+    {
+        EvalService service(fastOptions());
+        Response eval = service.call(smallEval());
+        ASSERT_EQ(eval.status, Status::Ok) << eval.error;
+        const uint64_t rid =
+            static_cast<uint64_t>(eval.values["request.id"]);
+        ASSERT_NE(rid, 0u);
+
+        // The span tree: the admit-side server.request span is the
+        // root, and the worker-side server.execute span parents
+        // under it — on a different thread track.
+        auto events =
+            support::TraceRecorder::instance().requestEvents(rid);
+        uint64_t admit_span = 0, admit_tid = 0;
+        uint64_t exec_parent = 0, exec_tid = 0;
+        bool saw_flow_start = false, saw_flow_step = false;
+        for (const auto &e : events) {
+            if (e.name == "server.request") {
+                admit_span = e.spanId;
+                admit_tid = e.tid;
+                EXPECT_EQ(e.parentSpanId, 0u);
+            } else if (e.name == "server.execute") {
+                exec_parent = e.parentSpanId;
+                exec_tid = e.tid;
+            } else if (e.phase == 's') {
+                saw_flow_start = true;
+            } else if (e.phase == 't') {
+                saw_flow_step = true;
+            }
+        }
+        EXPECT_NE(admit_span, 0u);
+        EXPECT_EQ(exec_parent, admit_span);
+        EXPECT_NE(exec_tid, admit_tid);
+        EXPECT_TRUE(saw_flow_start);
+        EXPECT_TRUE(saw_flow_step);
+
+        // The dump-trace verb returns the same tree as a JSON body.
+        Request dump;
+        dump.type = "dump-trace";
+        dump.requestId = rid;
+        Response resp = service.call(dump);
+        ASSERT_EQ(resp.status, Status::Ok);
+        EXPECT_GE(resp.values["events"], 4.0);
+        EXPECT_NE(resp.body.find("server.request"),
+                  std::string::npos);
+        EXPECT_NE(resp.body.find("server.execute"),
+                  std::string::npos);
+
+        // Without a request id the verb is a usage error.
+        Request bare;
+        bare.type = "dump-trace";
+        EXPECT_EQ(service.call(bare).status, Status::BadRequest);
+    }
+    support::setTraceEnabled(false);
+    support::TraceRecorder::instance().clear();
+}
+
+// ---------------------------------------------------------------
+// Flight recorder integration and drain-snapshot stability
+// ---------------------------------------------------------------
+
+TEST(FlightRecorderIntegration, DumpNamesShedAndFaultedRequestIds)
+{
+    support::FlightRecorder::instance().resetForTest();
+    EvalService service(fastOptions());
+
+    support::ScopedFault fault("EvalService::execute", 0, 1);
+    Response faulted = service.call(smallEval());
+    ASSERT_EQ(faulted.status, Status::Failed);
+    const uint64_t faulted_rid =
+        static_cast<uint64_t>(faulted.values["request.id"]);
+    ASSERT_NE(faulted_rid, 0u);
+
+    ASSERT_TRUE(service.drain(5000));
+    Request late = smallEval("2111");
+    Response shed = service.call(late);
+    ASSERT_EQ(shed.status, Status::Shed);
+    const uint64_t shed_rid =
+        static_cast<uint64_t>(shed.values["request.id"]);
+    ASSERT_NE(shed_rid, 0u);
+
+    bool saw_fault = false, saw_shed = false;
+    bool saw_drain_begin = false, saw_drain_end = false;
+    for (const auto &e :
+         support::FlightRecorder::instance().snapshot()) {
+        using EK = support::FlightRecorder::EventKind;
+        if (e.kind == EK::Fault && e.requestId == faulted_rid)
+            saw_fault = true;
+        if (e.kind == EK::Shed && e.requestId == shed_rid &&
+            e.detail == "draining")
+            saw_shed = true;
+        if (e.kind == EK::Drain && e.detail == "begin")
+            saw_drain_begin = true;
+        if (e.kind == EK::Drain && e.detail == "graceful")
+            saw_drain_end = true;
+    }
+    EXPECT_TRUE(saw_fault);
+    EXPECT_TRUE(saw_shed);
+    EXPECT_TRUE(saw_drain_begin);
+    EXPECT_TRUE(saw_drain_end);
+}
+
+TEST(Drain, StatsSnapshotIsStableAfterDrain)
+{
+    EvalService service(fastOptions());
+    ASSERT_EQ(service.call(smallEval()).status, Status::Ok);
+    service.call(smallEval());                        // memo hit
+    support::ScopedFault fault("EvalService::execute", 0, 1);
+    service.call(smallEval("2111"));                  // failed
+    ASSERT_TRUE(service.drain(5000));
+
+    // A drain-time report must be a quiescent snapshot: every
+    // counter settled (workers joined before drain returns), the
+    // queue empty, and the lifecycle identity exact.
+    auto snap = service.statsValues();
+    EXPECT_DOUBLE_EQ(snap["queue.depth"], 0.0);
+    EXPECT_DOUBLE_EQ(snap["inflight"], 0.0);
+    EXPECT_DOUBLE_EQ(snap["draining"], 1.0);
+    EXPECT_DOUBLE_EQ(snap["requests.total"],
+                     snap["memo_hits"] + snap["shed"] +
+                         snap["completed"] + snap["deadline"] +
+                         snap["failed"]);
+    EXPECT_DOUBLE_EQ(snap["accepted"],
+                     snap["completed"] + snap["deadline"] +
+                         snap["failed"]);
+    // Re-reading changes nothing: the snapshot is reproducible.
+    auto again = service.statsValues();
+    EXPECT_EQ(snap.size(), again.size());
+    for (const auto &[k, v] : snap)
+        EXPECT_DOUBLE_EQ(again[k], v) << k;
+}
+
+TEST(Drain, ConcurrentIntrospectionSurvivesDrainAndChaos)
+{
+    ServiceOptions opts = fastOptions();
+    opts.chaosSlowMs = 20;
+    EvalService service(opts);
+    support::ScopedFault f1("EvalService::execute", 1, 3);
+    support::ScopedFault f2("EvalService::execute:slow", 2, 0);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> samples{0};
+    std::atomic<int> violations{0};
+    // Two threads hammer the introspection verbs for the whole run,
+    // across the drain transition: no deadlock (the ctest watchdog
+    // is the backstop) and monotonic counters even mid-chaos.
+    std::vector<std::thread> watchers;
+    for (int w = 0; w < 2; ++w) {
+        watchers.emplace_back([&] {
+            const char *keys[] = {"requests.total", "shed",
+                                  "completed", "failed", "deadline",
+                                  "memo_hits", "accepted"};
+            std::map<std::string, double> prev;
+            while (!stop.load()) {
+                Request stats;
+                stats.type = "stats";
+                Response resp = service.call(stats);
+                if (resp.status != Status::Ok) {
+                    violations.fetch_add(1);
+                    continue;
+                }
+                for (const char *k : keys) {
+                    if (prev.count(k) && resp.values[k] < prev[k])
+                        violations.fetch_add(1);
+                    prev[k] = resp.values[k];
+                }
+                Request health;
+                health.type = "health";
+                if (service.call(health).status != Status::Ok)
+                    violations.fetch_add(1);
+                samples.fetch_add(1);
+            }
+        });
+    }
+
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 3; ++t) {
+        callers.emplace_back([&, t] {
+            const char *machines[] = {"1111", "2111", "2211"};
+            for (int r = 0; r < 4; ++r) {
+                Request req = smallEval(machines[(t + r) % 3]);
+                req.key = "chaos-" + std::to_string(t) + "-" +
+                          std::to_string(r);
+                req.deadlineMs = 2000;
+                service.call(req);
+            }
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    service.drain(5000);
+    // The drain state is immediately visible to a watcher.
+    Request health;
+    health.type = "health";
+    Response post = service.call(health);
+    EXPECT_DOUBLE_EQ(post.values["draining"], 1.0);
+    stop.store(true);
+    for (auto &t : watchers)
+        t.join();
+    EXPECT_GT(samples.load(), 0u);
+    EXPECT_EQ(violations.load(), 0);
+}
+
+// ---------------------------------------------------------------
 // Socket transport
 // ---------------------------------------------------------------
 
@@ -375,6 +681,14 @@ TEST(ServerSocket, ClientGivesUpCleanlyWhenServerAbsent)
     Response resp = client.call(smallEval());
     EXPECT_EQ(resp.status, Status::Shed);
     EXPECT_EQ(client.retries(), 2u); // attempts - 1
+    // The retry count splits by cause: with no server, every retry
+    // (and every attempt) is a transport failure, not real shedding.
+    EXPECT_EQ(client.retriesTransport(), 2u);
+    EXPECT_EQ(client.retriesShed(), 0u);
+    EXPECT_EQ(client.retriesShed() + client.retriesTransport(),
+              client.retries());
+    EXPECT_EQ(client.transportFailures(), 3u); // one per attempt
+    EXPECT_EQ(client.shedSeen(), 0u);
 }
 
 // ---------------------------------------------------------------
@@ -385,6 +699,7 @@ TEST(Chaos, ServiceSurvivesFaultStormWithoutCorruptionOrDeadlock)
 {
     std::string cache_path = tempPath("chaos_cache.db");
     std::remove(cache_path.c_str());
+    support::FlightRecorder::instance().resetForTest();
 
     ServiceOptions opts = fastOptions();
     opts.cachePath = cache_path;
@@ -405,6 +720,8 @@ TEST(Chaos, ServiceSurvivesFaultStormWithoutCorruptionOrDeadlock)
 
         const int kThreads = 4, kRequests = 6;
         std::atomic<uint64_t> answered{0};
+        std::mutex trouble_mutex;
+        std::vector<std::pair<uint64_t, Status>> troubled;
         std::vector<std::thread> callers;
         for (int t = 0; t < kThreads; ++t) {
             callers.emplace_back([&, t] {
@@ -418,6 +735,15 @@ TEST(Chaos, ServiceSurvivesFaultStormWithoutCorruptionOrDeadlock)
                     // an unanswerable state.
                     EXPECT_NE(resp.status, Status::BadRequest);
                     answered.fetch_add(1);
+                    if (resp.status == Status::Shed ||
+                        resp.status == Status::Failed) {
+                        std::lock_guard<std::mutex> lock(
+                            trouble_mutex);
+                        troubled.emplace_back(
+                            static_cast<uint64_t>(
+                                resp.values["request.id"]),
+                            resp.status);
+                    }
                 }
             });
         }
@@ -425,6 +751,25 @@ TEST(Chaos, ServiceSurvivesFaultStormWithoutCorruptionOrDeadlock)
             t.join();
         EXPECT_EQ(answered.load(),
                   static_cast<uint64_t>(kThreads * kRequests));
+
+        // Post-mortem contract: the flight dump names the request id
+        // of every shed and every faulted request of the storm.
+        auto flight = support::FlightRecorder::instance().snapshot();
+        for (const auto &[rid, status] : troubled) {
+            using EK = support::FlightRecorder::EventKind;
+            EK want = status == Status::Shed ? EK::Shed : EK::Fault;
+            bool named = false;
+            for (const auto &e : flight) {
+                if (e.requestId == rid && e.kind == want) {
+                    named = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(named)
+                << "request " << rid << " ("
+                << server::statusName(status)
+                << ") missing from the flight dump";
+        }
 
         // Counter conservation: every accepted request reached
         // exactly one terminal state.

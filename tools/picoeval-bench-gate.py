@@ -82,6 +82,12 @@ GATES = [
         "slack": 10.0,   # percentage points over baseline
     },
     {
+        "bench": "observability_overhead",
+        "metric": "server.overhead.percent",
+        "kind": "max_slack",
+        "slack": 10.0,   # request-scoped tracing on the serving path
+    },
+    {
         "bench": "verifier_overhead",
         "metric": "overhead.percent",
         "kind": "max_slack",

@@ -27,6 +27,11 @@ Checks C++ sources under src/ for constructions the project bans:
                  promised to do; an unbounded one turns overload into
                  unbounded memory and latency. Use
                  support::BoundedQueue (capacity + shed watermark).
+  raw-span       TimedSpan in src/server. A server span opened
+                 without a TraceContext is invisible to dump-trace
+                 and unattributable in the Chrome trace; the serving
+                 layer opens support::RequestSpan, which installs the
+                 request's context around the span.
   raw-sleep      direct sleep calls (sleep_for/usleep/sleep) in
                  src/server. Fixed-delay retry loops synchronize into
                  retry storms; pacing goes through support::Backoff
@@ -101,6 +106,15 @@ RULES = [
         "message": "unbounded queue in the serving layer (use "
                    "support::BoundedQueue — admission control is "
                    "not optional)",
+    },
+    {
+        "name": "raw-span",
+        "pattern": re.compile(r"\bTimedSpan\b"),
+        "allow_files": [],
+        "only_dirs": ["src/server"],
+        "message": "raw TimedSpan in the serving layer (a span "
+                   "without a TraceContext loses its request "
+                   "identity; open a support::RequestSpan instead)",
     },
     {
         "name": "raw-sleep",
