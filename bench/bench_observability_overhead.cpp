@@ -26,7 +26,9 @@
 #include "dse/Evaluators.hpp"
 #include "server/EvalService.hpp"
 #include "server/Protocol.hpp"
+#include "support/LockRank.hpp"
 #include "support/Metrics.hpp"
+#include "support/ThreadAnnotations.hpp"
 #include "support/TraceEvents.hpp"
 
 using namespace pico;
@@ -95,6 +97,34 @@ serveBestOf(const std::string &app, int reps, int requests)
     return best;
 }
 
+/**
+ * Best-of-reps time of a hot uncontended MutexLock loop on a ranked
+ * mutex under the current lock-rank-checker toggle. In Release the
+ * checker is compiled out (PICOEVAL_LOCK_RANK_CHECK == 0) and the
+ * toggle is inert, so disabled and enabled time the identical code —
+ * the measured 0% *is* the Release overhead claim. In Debug the pair
+ * quantifies what the thread-local stack bookkeeping costs.
+ */
+uint64_t
+rankCheckBestOf(int reps)
+{
+    support::Mutex mtx{"bench.rankcheck",
+                       support::rank::kMetricsRegistry};
+    constexpr int iters = 200000;
+    uint64_t best = UINT64_MAX;
+    volatile uint64_t sink = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+        uint64_t start = support::monotonicNowNs();
+        for (int i = 0; i < iters; ++i) {
+            support::MutexLock lock(mtx);
+            sink = sink + 1;
+        }
+        best = std::min(best,
+                        (support::monotonicNowNs() - start) / iters);
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -159,6 +189,24 @@ main(int argc, char **argv)
                1.0) * 100.0
             : 0.0;
 
+    // Rank-checker scenario: hot uncontended lock/unlock with the
+    // runtime checker off vs on (A/B is meaningful in Debug; in
+    // Release both sides run the same checker-free code).
+    constexpr int rank_reps = 5;
+    std::cout << "\nrank-checker scenario: hot MutexLock loop, "
+                 "checker off vs on (compiled "
+              << (PICOEVAL_LOCK_RANK_CHECK ? "in" : "out") << ")\n";
+    support::lockrank::setLockRankCheckEnabled(false);
+    uint64_t rank_off_ns = rankCheckBestOf(rank_reps);
+    support::lockrank::setLockRankCheckEnabled(true);
+    uint64_t rank_on_ns = rankCheckBestOf(rank_reps);
+    double rank_percent =
+        rank_off_ns > 0
+            ? (static_cast<double>(rank_on_ns) /
+                   static_cast<double>(rank_off_ns) -
+               1.0) * 100.0
+            : 0.0;
+
     TextTable table("Wall time, instrumentation off vs on");
     table.setHeader({"scenario", "mode", "best ns", "overhead"});
     table.addRow({"simbank sweep", "disabled", std::to_string(off_ns),
@@ -170,6 +218,11 @@ main(int argc, char **argv)
     table.addRow({"server request", "enabled",
                   std::to_string(serve_on_ns),
                   TextTable::num(serve_percent, 2) + "%"});
+    table.addRow({"rankcheck lock/unlock", "disabled",
+                  std::to_string(rank_off_ns), "-"});
+    table.addRow({"rankcheck lock/unlock", "enabled",
+                  std::to_string(rank_on_ns),
+                  TextTable::num(rank_percent, 2) + "%"});
     table.print(std::cout);
 
     bench::BenchReport json("observability_overhead");
@@ -186,6 +239,11 @@ main(int argc, char **argv)
     json.setMetric("server.ns.disabled", serve_off_ns);
     json.setMetric("server.ns.enabled", serve_on_ns);
     json.setMetric("server.overhead.percent", serve_percent);
+    json.setMetric("rankcheck.compiled",
+                   static_cast<uint64_t>(PICOEVAL_LOCK_RANK_CHECK));
+    json.setMetric("rankcheck.ns.disabled", rank_off_ns);
+    json.setMetric("rankcheck.ns.enabled", rank_on_ns);
+    json.setMetric("rankcheck.overhead.percent", rank_percent);
     json.addTable(table);
     if (!bench::writeReport(json, json_out))
         return 1;

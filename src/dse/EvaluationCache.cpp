@@ -10,6 +10,7 @@
 #include "support/FaultInjection.hpp"
 #include "support/Logging.hpp"
 #include "support/Metrics.hpp"
+#include "support/SchedulePerturb.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -170,7 +171,7 @@ EvaluationCache::getOrCompute(
     std::shared_ptr<Inflight> flight;
     bool leader = false;
     {
-        support::MutexLock lock(shard.mutex);
+        support::MutexLock lock(shard.shardMutex);
         auto it = shard.table.find(key);
         if (it != shard.table.end()) {
             recordHit(index, it->second.fromDisk);
@@ -191,7 +192,8 @@ EvaluationCache::getOrCompute(
         // Single-flight follower: another thread is computing this
         // key right now (a retried idempotent request). Wait for its
         // result instead of duplicating the work.
-        support::MutexLock lock(flight->mutex);
+        support::perturbPoint("evalcache.follower");
+        support::MutexLock lock(flight->inflightMutex);
         while (!flight->done)
             flight->cv.wait(lock.native());
         if (flight->error)
@@ -204,6 +206,7 @@ EvaluationCache::getOrCompute(
     // would serialize every other key that hashes to the same shard.
     std::vector<double> values;
     std::exception_ptr error;
+    support::perturbPoint("evalcache.leader");
     try {
         values = compute();
         ++computed_;
@@ -215,11 +218,12 @@ EvaluationCache::getOrCompute(
         error = std::current_exception();
     }
     {
-        support::MutexLock lock(shard.mutex);
+        support::MutexLock lock(shard.shardMutex);
         shard.inflight.erase(key);
     }
+    support::perturbPoint("evalcache.publish");
     {
-        support::MutexLock lock(flight->mutex);
+        support::MutexLock lock(flight->inflightMutex);
         flight->done = true;
         flight->values = values;
         flight->error = error;
@@ -236,7 +240,7 @@ EvaluationCache::lookup(const std::string &key,
 {
     size_t index = shardIndexOf(key);
     const auto &shard = shards_[index];
-    support::MutexLock lock(shard.mutex);
+    support::MutexLock lock(shard.shardMutex);
     auto it = shard.table.find(key);
     if (it == shard.table.end()) {
         recordMiss(index);
@@ -257,7 +261,7 @@ EvaluationCache::store(const std::string &key,
     size_t index = shardIndexOf(key);
     auto &shard = shards_[index];
     {
-        support::MutexLock lock(shard.mutex);
+        support::MutexLock lock(shard.shardMutex);
         // An overwrite counts as this run's work from here on.
         shard.table[key] = Entry{std::move(values), false};
     }
@@ -302,7 +306,7 @@ EvaluationCache::size() const
 {
     size_t total = 0;
     for (const auto &shard : shards_) {
-        support::MutexLock lock(shard.mutex);
+        support::MutexLock lock(shard.shardMutex);
         total += shard.table.size();
     }
     return total;
@@ -320,6 +324,7 @@ EvaluationCache::saveLocked() const
 {
     if (path_.empty())
         return;
+    support::perturbPoint("evalcache.flush");
     support::faultPoint("EvaluationCache::save:before-write");
 
     // Clear the dirty flag *before* snapshotting, and restore it on
@@ -337,7 +342,10 @@ EvaluationCache::saveLocked() const
         std::vector<std::pair<std::string, std::vector<double>>>
             entries;
         for (const auto &shard : shards_) {
-            support::MutexLock shardLock(shard.mutex);
+            support::MutexLock shardLock(shard.shardMutex);
+            // Hash-order visit is safe here: entries are sorted
+            // below before a single byte is written.
+            // picoeval-lint: allow(nondet-iteration)
             for (const auto &[key, entry] : shard.table)
                 entries.emplace_back(key, entry.values);
         }
@@ -453,7 +461,7 @@ EvaluationCache::load()
         // sound and costs one uncontended acquisition per entry.
         auto &shard = shardFor(key);
         {
-            support::MutexLock lock(shard.mutex);
+            support::MutexLock lock(shard.shardMutex);
             shard.table[key] = Entry{std::move(values), true};
         }
         ++loadedEntries_;

@@ -122,7 +122,7 @@ class EvaluationCache
      * I/O errors are warned about and leave the previous generation
      * intact. Serialized: concurrent savers queue up.
      */
-    void save() const;
+    void save() const PICO_REQUIRES(!flushMutex_);
 
     /**
      * Persist unsaved entries (checkpoint). Cheap when nothing
@@ -131,7 +131,7 @@ class EvaluationCache
      * checkpoint rather than losing everything. Safe to call from
      * any thread.
      */
-    void flush();
+    void flush() PICO_REQUIRES(!flushMutex_);
 
     /**
      * One coherent view of every cache counter. The disk/memory hit
@@ -209,22 +209,24 @@ class EvaluationCache
      */
     struct Inflight
     {
-        support::Mutex mutex;
+        support::Mutex inflightMutex{"evalcache.inflight",
+                                     support::rank::kCacheInflight};
         std::condition_variable cv;
-        bool done PICO_GUARDED_BY(mutex) = false;
-        std::vector<double> values PICO_GUARDED_BY(mutex);
-        std::exception_ptr error PICO_GUARDED_BY(mutex);
+        bool done PICO_GUARDED_BY(inflightMutex) = false;
+        std::vector<double> values PICO_GUARDED_BY(inflightMutex);
+        std::exception_ptr error PICO_GUARDED_BY(inflightMutex);
     };
 
     /** One lock-striped slice of the table. */
     struct Shard
     {
-        mutable support::Mutex mutex;
+        mutable support::Mutex shardMutex{
+            "evalcache.shard", support::rank::kCacheShard};
         std::unordered_map<std::string, Entry> table
-            PICO_GUARDED_BY(mutex);
+            PICO_GUARDED_BY(shardMutex);
         /** Keys currently being computed by getOrCompute(). */
         std::unordered_map<std::string, std::shared_ptr<Inflight>>
-            inflight PICO_GUARDED_BY(mutex);
+            inflight PICO_GUARDED_BY(shardMutex);
     };
 
     size_t shardIndexOf(const std::string &key) const;
@@ -241,8 +243,11 @@ class EvaluationCache
 
     std::string path_;
     mutable std::array<Shard, shardCount> shards_;
-    /** Serializes the write-out protocol (tmp file + rename). */
-    mutable support::Mutex flushMutex_;
+    /** Serializes the write-out protocol (tmp file + rename).
+     *  Outranks the shard mutexes: saveLocked() visits every shard
+     *  while holding it. */
+    mutable support::Mutex flushMutex_{"evalcache.flush",
+                                       support::rank::kCacheFlush};
     mutable std::atomic<uint64_t> hits_{0};
     mutable std::atomic<uint64_t> misses_{0};
     mutable std::array<std::atomic<uint64_t>, shardCount>

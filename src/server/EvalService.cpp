@@ -12,6 +12,7 @@
 #include "support/FlightRecorder.hpp"
 #include "support/Logging.hpp"
 #include "support/Metrics.hpp"
+#include "support/SchedulePerturb.hpp"
 #include "support/TraceEvents.hpp"
 #include "workloads/AppSpec.hpp"
 #include "workloads/Toolchain.hpp"
@@ -211,7 +212,7 @@ EvalService::evalCall(const Request &req)
 
     Response resp;
     {
-        support::MutexLock lock(task->mutex);
+        support::MutexLock lock(task->taskMutex);
         while (!task->done)
             task->cv.wait(lock.native());
         resp = task->resp;
@@ -226,7 +227,7 @@ void
 EvalService::complete(Task &task, Response resp)
 {
     {
-        support::MutexLock lock(task.mutex);
+        support::MutexLock lock(task.taskMutex);
         task.resp = std::move(resp);
         task.done = true;
     }
@@ -238,6 +239,8 @@ EvalService::workerLoop()
 {
     TaskPtr task;
     while (queue_.pop(task)) {
+        // Popped / not yet started: the window drain() races with.
+        support::perturbPoint("evalservice.worker");
         inflight_.fetch_add(1, std::memory_order_relaxed);
         const uint64_t rid = task->ctx.requestId;
         FlightRecorder::instance().record(
@@ -447,7 +450,7 @@ EvalService::recordVerb(size_t verb, uint64_t start_ns) const
 {
     uint64_t ns = support::monotonicNowNs() - start_ns;
     VerbLatency &vl = verbLatency_[verb];
-    support::MutexLock lock(vl.mutex);
+    support::MutexLock lock(vl.latencyMutex);
     vl.ns[vl.count % VerbLatency::ringSize] = ns;
     ++vl.count;
 }
@@ -503,7 +506,7 @@ EvalService::statsValues() const
         uint64_t count;
         std::vector<uint64_t> window;
         {
-            support::MutexLock lock(vl.mutex);
+            support::MutexLock lock(vl.latencyMutex);
             count = vl.count;
             size_t held = static_cast<size_t>(
                 std::min<uint64_t>(count, VerbLatency::ringSize));
@@ -574,6 +577,8 @@ EvalService::drain(uint64_t deadline_ms)
 
     // Phase 1: stop admission, let the workers finish the backlog.
     queue_.close();
+    // Admission closed / workers still draining the backlog.
+    support::perturbPoint("evalservice.drain");
     bool graceful = true;
     {
         support::MutexLock lock(exitMutex_);

@@ -140,7 +140,8 @@ class EvalService
      * @return true when every admitted request finished before the
      *         deadline (no request was shed or cancelled by drain)
      */
-    bool drain(uint64_t deadline_ms);
+    bool drain(uint64_t deadline_ms)
+        PICO_REQUIRES(!drainMutex_);
 
     /** True once drain() has started (admission is closed). */
     bool draining() const
@@ -171,10 +172,11 @@ class EvalService
          *  admit span as parent), installed by the worker so its
          *  spans join the request's tree. */
         support::TraceContext ctx;
-        support::Mutex mutex;
+        support::Mutex taskMutex{"evalservice.task",
+                                 support::rank::kServiceTask};
         std::condition_variable cv;
-        bool done PICO_GUARDED_BY(mutex) = false;
-        Response resp PICO_GUARDED_BY(mutex);
+        bool done PICO_GUARDED_BY(taskMutex) = false;
+        Response resp PICO_GUARDED_BY(taskMutex);
     };
     using TaskPtr = std::shared_ptr<Task>;
 
@@ -194,9 +196,11 @@ class EvalService
     struct VerbLatency
     {
         static constexpr size_t ringSize = 512;
-        mutable support::Mutex mutex;
-        std::array<uint64_t, ringSize> ns PICO_GUARDED_BY(mutex){};
-        uint64_t count PICO_GUARDED_BY(mutex) = 0;
+        mutable support::Mutex latencyMutex{
+            "evalservice.verblatency", support::rank::kVerbLatency};
+        std::array<uint64_t, ringSize> ns
+            PICO_GUARDED_BY(latencyMutex){};
+        uint64_t count PICO_GUARDED_BY(latencyMutex) = 0;
     };
 
     void workerLoop();
@@ -225,31 +229,39 @@ class EvalService
     std::vector<std::thread> workers_;
 
     /** Live tasks, for drain-time cancellation. */
-    mutable support::Mutex liveMutex_;
+    mutable support::Mutex liveMutex_{
+        "evalservice.live", support::rank::kEvalServiceLive};
     std::vector<std::weak_ptr<Task>> live_
         PICO_GUARDED_BY(liveMutex_);
 
     /** Profiled programs by app name (built once, reused). */
-    mutable support::Mutex programsMutex_;
+    mutable support::Mutex programsMutex_{
+        "evalservice.programs",
+        support::rank::kEvalServicePrograms};
     std::map<std::string, std::shared_ptr<const ir::Program>>
         programs_ PICO_GUARDED_BY(programsMutex_);
 
     /** Completed (Ok) responses by idempotency key. */
-    mutable support::Mutex memoMutex_;
+    mutable support::Mutex memoMutex_{
+        "evalservice.memo", support::rank::kEvalServiceMemo};
     std::map<std::string, Response> memo_
         PICO_GUARDED_BY(memoMutex_);
 
     /** Per-request failures (isolation record). */
-    mutable support::Mutex failuresMutex_;
+    mutable support::Mutex failuresMutex_{
+        "evalservice.failures",
+        support::rank::kEvalServiceFailures};
     dse::FailureLog failures_ PICO_GUARDED_BY(failuresMutex_);
 
     /** Worker-exit rendezvous for the drain deadline. */
-    mutable support::Mutex exitMutex_;
+    mutable support::Mutex exitMutex_{
+        "evalservice.exit", support::rank::kEvalServiceExit};
     std::condition_variable exitCv_;
     unsigned workersExited_ PICO_GUARDED_BY(exitMutex_) = 0;
 
     /** Serializes drain() and records its verdict. */
-    support::Mutex drainMutex_;
+    support::Mutex drainMutex_{"evalservice.drain",
+                               support::rank::kEvalServiceDrain};
     bool drained_ PICO_GUARDED_BY(drainMutex_) = false;
     bool drainVerdict_ PICO_GUARDED_BY(drainMutex_) = true;
 

@@ -78,7 +78,8 @@ class Server
     std::atomic<bool> stopping_{false};
     std::atomic<uint64_t> connections_{0};
 
-    support::Mutex connMutex_;
+    support::Mutex connMutex_{"server.conn",
+                              support::rank::kServerConn};
     /** Open connection fds, for shutdown-time unblocking. */
     std::vector<int> connFds_ PICO_GUARDED_BY(connMutex_);
     std::vector<std::thread> connThreads_

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "support/Logging.hpp"
+#include "support/SchedulePerturb.hpp"
 #include "support/ThreadAnnotations.hpp"
 
 namespace pico::support
@@ -77,10 +78,10 @@ template <typename T> class BoundedQueue
 
     /** Non-blocking push; see QueuePush for the rejection reasons. */
     QueuePush
-    tryPush(T item)
+    tryPush(T item) PICO_REQUIRES(!queueMutex_)
     {
         {
-            MutexLock lock(mutex_);
+            MutexLock lock(queueMutex_);
             if (closed_)
                 return QueuePush::Closed;
             if (items_.size() >= watermark_) {
@@ -92,6 +93,8 @@ template <typename T> class BoundedQueue
             if (items_.size() > peakDepth_)
                 peakDepth_ = items_.size();
         }
+        // Push-committed / about-to-notify race window.
+        perturbPoint("boundedqueue.push");
         consumerCv_.notify_one();
         return QueuePush::Ok;
     }
@@ -101,9 +104,12 @@ template <typename T> class BoundedQueue
      * drained — the consumer's signal to exit.
      */
     bool
-    pop(T &out)
+    pop(T &out) PICO_REQUIRES(!queueMutex_)
     {
-        MutexLock lock(mutex_);
+        // Consumer-arrival / producer-notify race window (taken
+        // before the lock so the perturbation reorders arrivals).
+        perturbPoint("boundedqueue.pop");
+        MutexLock lock(queueMutex_);
         while (items_.empty() && !closed_)
             consumerCv_.wait(lock.native());
         if (items_.empty())
@@ -115,10 +121,10 @@ template <typename T> class BoundedQueue
 
     /** Stop admission; consumers drain the remaining items. */
     void
-    close()
+    close() PICO_REQUIRES(!queueMutex_)
     {
         {
-            MutexLock lock(mutex_);
+            MutexLock lock(queueMutex_);
             closed_ = true;
         }
         consumerCv_.notify_all();
@@ -130,11 +136,11 @@ template <typename T> class BoundedQueue
      * Items a consumer already popped are not affected.
      */
     std::vector<T>
-    closeAndDrain()
+    closeAndDrain() PICO_REQUIRES(!queueMutex_)
     {
         std::vector<T> leftover;
         {
-            MutexLock lock(mutex_);
+            MutexLock lock(queueMutex_);
             closed_ = true;
             leftover.reserve(items_.size());
             while (!items_.empty()) {
@@ -148,24 +154,24 @@ template <typename T> class BoundedQueue
 
     /** Current depth (racy by nature; for stats and tests). */
     size_t
-    size() const
+    size() const PICO_REQUIRES(!queueMutex_)
     {
-        MutexLock lock(mutex_);
+        MutexLock lock(queueMutex_);
         return items_.size();
     }
 
     /** Deepest the queue has ever been (never exceeds watermark). */
     size_t
-    peakDepth() const
+    peakDepth() const PICO_REQUIRES(!queueMutex_)
     {
-        MutexLock lock(mutex_);
+        MutexLock lock(queueMutex_);
         return peakDepth_;
     }
 
     bool
-    closed() const
+    closed() const PICO_REQUIRES(!queueMutex_)
     {
-        MutexLock lock(mutex_);
+        MutexLock lock(queueMutex_);
         return closed_;
     }
 
@@ -175,10 +181,10 @@ template <typename T> class BoundedQueue
   private:
     const size_t capacity_;
     const size_t watermark_;
-    mutable Mutex mutex_;
-    std::deque<T> items_ PICO_GUARDED_BY(mutex_);
-    size_t peakDepth_ PICO_GUARDED_BY(mutex_) = 0;
-    bool closed_ PICO_GUARDED_BY(mutex_) = false;
+    mutable Mutex queueMutex_{"boundedqueue", rank::kBoundedQueue};
+    std::deque<T> items_ PICO_GUARDED_BY(queueMutex_);
+    size_t peakDepth_ PICO_GUARDED_BY(queueMutex_) = 0;
+    bool closed_ PICO_GUARDED_BY(queueMutex_) = false;
     std::condition_variable consumerCv_;
 };
 

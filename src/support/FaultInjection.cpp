@@ -22,7 +22,7 @@ void
 FaultInjector::arm(const std::string &site, uint64_t skip,
                    uint64_t fires)
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(faultMutex_);
     auto &s = sites_[site];
     if (!s.armed)
         armedCount_.fetch_add(1, std::memory_order_release);
@@ -34,7 +34,7 @@ FaultInjector::arm(const std::string &site, uint64_t skip,
 void
 FaultInjector::disarm(const std::string &site)
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(faultMutex_);
     auto it = sites_.find(site);
     if (it == sites_.end() || !it->second.armed)
         return;
@@ -45,7 +45,7 @@ FaultInjector::disarm(const std::string &site)
 void
 FaultInjector::reset()
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(faultMutex_);
     sites_.clear();
     armedCount_.store(0, std::memory_order_release);
 }
@@ -53,7 +53,7 @@ FaultInjector::reset()
 bool
 FaultInjector::shouldFail(const std::string &site)
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(faultMutex_);
     auto &s = sites_[site];
     uint64_t hit = s.hits++;
     if (!s.armed || hit < s.skip)
@@ -70,7 +70,7 @@ FaultInjector::shouldFail(const std::string &site)
 uint64_t
 FaultInjector::hits(const std::string &site) const
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(faultMutex_);
     auto it = sites_.find(site);
     return it == sites_.end() ? 0 : it->second.hits;
 }

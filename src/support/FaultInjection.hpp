@@ -65,22 +65,25 @@ class FaultInjector
      * @param fires times to fire before auto-disarming (0 = forever)
      */
     void arm(const std::string &site, uint64_t skip = 0,
-             uint64_t fires = 1);
+             uint64_t fires = 1) PICO_REQUIRES(!faultMutex_);
 
     /** Disarm one site (hit counters are kept). */
-    void disarm(const std::string &site);
+    void disarm(const std::string &site)
+        PICO_REQUIRES(!faultMutex_);
 
     /** Disarm every site and forget all hit counters. */
-    void reset();
+    void reset() PICO_REQUIRES(!faultMutex_);
 
     /**
      * Called by faultPoint(): count the hit and decide.
      * @return true when the armed trigger fires
      */
-    bool shouldFail(const std::string &site);
+    bool shouldFail(const std::string &site)
+        PICO_REQUIRES(!faultMutex_);
 
     /** Times a site has been hit since the last reset(). */
-    uint64_t hits(const std::string &site) const;
+    uint64_t hits(const std::string &site) const
+        PICO_REQUIRES(!faultMutex_);
 
     /** True when any site is currently armed. */
     bool
@@ -105,8 +108,8 @@ class FaultInjector
      * a mutex; the armed count is a separate atomic so the unarmed
      * fast path in faultPoint() stays lock-free.
      */
-    mutable Mutex mutex_;
-    std::map<std::string, Site> sites_ PICO_GUARDED_BY(mutex_);
+    mutable Mutex faultMutex_{"faultinjector", rank::kFaultInjector};
+    std::map<std::string, Site> sites_ PICO_GUARDED_BY(faultMutex_);
     std::atomic<uint64_t> armedCount_{0};
 };
 

@@ -94,7 +94,7 @@ MetricsRegistry::localShard()
     if (tlsShard == nullptr) {
         auto shard = std::make_unique<Shard>();
         tlsShard = shard.get();
-        MutexLock lock(mutex_);
+        MutexLock lock(registryMutex_);
         shards_.push_back(std::move(shard));
     }
     return *tlsShard;
@@ -114,7 +114,7 @@ MetricsRegistry::allocateSlots(size_t words, const std::string &name)
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(registryMutex_);
     auto it = counters_.find(name);
     if (it == counters_.end()) {
         it = counters_
@@ -128,7 +128,7 @@ MetricsRegistry::counter(const std::string &name)
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(registryMutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
         it = gauges_
@@ -141,7 +141,7 @@ MetricsRegistry::gauge(const std::string &name)
 Histogram &
 MetricsRegistry::histogram(const std::string &name)
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(registryMutex_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         it = histograms_
@@ -160,7 +160,7 @@ MetricsRegistry::snapshot() const
     // Concurrent updaters use relaxed stores, so a snapshot taken
     // while work is in flight may lag by in-flight increments; the
     // pipeline snapshots after joins, where totals are exact.
-    MutexLock lock(mutex_);
+    MutexLock lock(registryMutex_);
     auto sumSlot = [this](size_t slot) {
         uint64_t total = 0;
         for (const auto &shard : shards_)
@@ -188,7 +188,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::resetValues()
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(registryMutex_);
     for (auto &shard : shards_) {
         for (auto &slot : shard->slots)
             slot.store(0, std::memory_order_relaxed);

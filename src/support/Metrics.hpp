@@ -184,18 +184,22 @@ class MetricsRegistry
 
     static MetricsRegistry &instance();
 
-    Counter &counter(const std::string &name);
-    Gauge &gauge(const std::string &name);
-    Histogram &histogram(const std::string &name);
+    Counter &counter(const std::string &name)
+        PICO_REQUIRES(!registryMutex_);
+    Gauge &gauge(const std::string &name)
+        PICO_REQUIRES(!registryMutex_);
+    Histogram &histogram(const std::string &name)
+        PICO_REQUIRES(!registryMutex_);
 
     /** Merge all thread shards into one deterministic snapshot. */
-    MetricsSnapshot snapshot() const;
+    MetricsSnapshot snapshot() const
+        PICO_REQUIRES(!registryMutex_);
 
     /**
      * Zero every counter/histogram/gauge value (registrations and
      * handles stay valid). For tests and repeated measurement runs.
      */
-    void resetValues();
+    void resetValues() PICO_REQUIRES(!registryMutex_);
 
   private:
     friend class Counter;
@@ -210,24 +214,24 @@ class MetricsRegistry
     };
 
     /** The calling thread's shard, registered on first use. */
-    Shard &localShard();
+    Shard &localShard() PICO_REQUIRES(!registryMutex_);
 
     size_t allocateSlots(size_t words, const std::string &name)
-        PICO_REQUIRES(mutex_);
+        PICO_REQUIRES(registryMutex_);
 
-    mutable Mutex mutex_;
+    mutable Mutex registryMutex_{"metrics.registry", rank::kMetricsRegistry};
     std::map<std::string, std::unique_ptr<Counter>> counters_
-        PICO_GUARDED_BY(mutex_);
+        PICO_GUARDED_BY(registryMutex_);
     std::map<std::string, std::unique_ptr<Gauge>> gauges_
-        PICO_GUARDED_BY(mutex_);
+        PICO_GUARDED_BY(registryMutex_);
     std::map<std::string, std::unique_ptr<Histogram>> histograms_
-        PICO_GUARDED_BY(mutex_);
-    size_t nextSlot_ PICO_GUARDED_BY(mutex_) = 0;
+        PICO_GUARDED_BY(registryMutex_);
+    size_t nextSlot_ PICO_GUARDED_BY(registryMutex_) = 0;
     /** Owned for the life of the process; threads may die, their
      *  totals persist. Registration is guarded; updates go through
      *  each shard's relaxed atomics, lock-free. */
     mutable std::vector<std::unique_ptr<Shard>> shards_
-        PICO_GUARDED_BY(mutex_);
+        PICO_GUARDED_BY(registryMutex_);
 };
 
 /** Shorthand for MetricsRegistry::instance(). */

@@ -41,6 +41,8 @@
 
 #include <mutex>
 
+#include "support/LockRank.hpp"
+
 #if defined(__clang__)
 #define PICO_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -93,21 +95,40 @@ namespace pico::support
 {
 
 /**
- * std::mutex with capability attributes the analysis understands.
+ * std::mutex with capability attributes the analysis understands,
+ * plus a compile-time name and lock rank (support/LockRank.hpp).
  * Same cost and semantics as std::mutex; lock()/unlock() exist for
  * the analysis and for MutexLock — call sites should prefer the
  * scoped MutexLock.
+ *
+ * Every mutex in src/support, src/dse and src/server must use the
+ * ranked constructor — `Mutex mutex_{"evalcache.shard",
+ * rank::kCacheShard}` — with a rank from the table in LockRank.hpp;
+ * tools/picoeval-lockcheck.py fails CI on unranked declarations in
+ * those directories and proves the declared order acyclic.
  */
 class PICO_CAPABILITY("mutex") Mutex
 {
   public:
+    /** Unranked (rank::kUnranked): invisible to the rank checker.
+     *  For code outside the covered directories only. */
     Mutex() = default;
+
+    /** Named, ranked mutex — the required spelling in src/. */
+    Mutex(const char *name, int rank) : name_(name), rank_(rank) {}
+
     Mutex(const Mutex &) = delete;
     Mutex &operator=(const Mutex &) = delete;
 
     void lock() PICO_ACQUIRE() { m_.lock(); }
     void unlock() PICO_RELEASE() { m_.unlock(); }
     bool try_lock() PICO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** Compile-time identity in the lock-order graph. */
+    const char *name() const { return name_; }
+
+    /** Rank from support::rank (LockRank.hpp); kUnranked = none. */
+    int rank() const { return rank_; }
 
     /**
      * The wrapped mutex, for std::condition_variable via
@@ -118,6 +139,8 @@ class PICO_CAPABILITY("mutex") Mutex
 
   private:
     std::mutex m_;
+    const char *name_ = "unranked";
+    int rank_ = rank::kUnranked;
 };
 
 /**
@@ -131,19 +154,46 @@ class PICO_SCOPED_CAPABILITY MutexLock
 {
   public:
     explicit MutexLock(Mutex &mutex) PICO_ACQUIRE(mutex)
-        : lock_(mutex.raw())
+        : lock_(checkedLock(mutex))
+#if PICOEVAL_LOCK_RANK_CHECK
+          ,
+          mutex_(&mutex)
+#endif
     {}
 
-    ~MutexLock() PICO_RELEASE() {}
+    ~MutexLock() PICO_RELEASE()
+    {
+#if PICOEVAL_LOCK_RANK_CHECK
+        lockrank::onRelease(mutex_->name(), mutex_->rank());
+#endif
+    }
 
     MutexLock(const MutexLock &) = delete;
     MutexLock &operator=(const MutexLock &) = delete;
 
-    /** For cv.wait(lock.native()) — see class comment. */
+    /** For cv.wait(lock.native()) — see class comment. The wait's
+     *  internal release/reacquire is invisible to the rank checker
+     *  too, which is sound: the lock is held again on every return,
+     *  so the held-stack entry never stops being true at the points
+     *  where this thread can acquire something else. */
     std::unique_lock<std::mutex> &native() { return lock_; }
 
   private:
+    /** Rank-check (Debug only), then lock. The check runs *before*
+     *  blocking so an inversion reports even when it would have
+     *  deadlocked right there. */
+    static std::unique_lock<std::mutex> checkedLock(Mutex &mutex)
+    {
+#if PICOEVAL_LOCK_RANK_CHECK
+        lockrank::onAcquire(mutex.name(), mutex.rank());
+#endif
+        return std::unique_lock<std::mutex>(mutex.raw());
+    }
+
     std::unique_lock<std::mutex> lock_;
+#if PICOEVAL_LOCK_RANK_CHECK
+    Mutex *mutex_ = nullptr;
+#endif
 };
 
 } // namespace pico::support

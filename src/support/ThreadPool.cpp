@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "support/Logging.hpp"
+#include "support/SchedulePerturb.hpp"
 #include "support/TraceContext.hpp"
 #include "support/TraceEvents.hpp"
 
@@ -30,7 +31,7 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        MutexLock lock(mutex_);
+        MutexLock lock(poolMutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -52,7 +53,7 @@ ThreadPool::submit(std::function<void()> task)
             inner();
         };
     {
-        MutexLock lock(mutex_);
+        MutexLock lock(poolMutex_);
         panicIf(stop_, "task submitted to a stopping thread pool");
         queue_.push_back(std::move(wrapped));
     }
@@ -65,7 +66,7 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            MutexLock lock(mutex_);
+            MutexLock lock(poolMutex_);
             // Manual wait loop instead of a predicate lambda: the
             // thread-safety analysis cannot see that a lambda body
             // runs under the caller's lock.
@@ -77,6 +78,8 @@ ThreadPool::workerLoop()
             queue_.pop_front();
         }
         PICO_METRIC_COUNT("threadpool.tasks", 1);
+        // Dispatch decision point: a task dequeued but not yet run.
+        perturbPoint("threadpool.dispatch");
         task();
     }
 }
@@ -107,10 +110,10 @@ struct LoopState
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
 
-    Mutex mutex;
+    Mutex loopMutex{"threadpool.loopstate", rank::kPoolLoop};
     std::condition_variable cv;
-    std::exception_ptr error PICO_GUARDED_BY(mutex);
-    size_t errorIndex PICO_GUARDED_BY(mutex) = SIZE_MAX;
+    std::exception_ptr error PICO_GUARDED_BY(loopMutex);
+    size_t errorIndex PICO_GUARDED_BY(loopMutex) = SIZE_MAX;
 
     /** Claim and run indices until the counter is exhausted. */
     void
@@ -120,10 +123,13 @@ struct LoopState
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= total)
                 return;
+            // Claim/run boundary: reorders which thread gets which
+            // index without changing the merge result.
+            perturbPoint("threadpool.parallelfor");
             try {
                 body(i);
             } catch (...) {
-                MutexLock lock(mutex);
+                MutexLock lock(loopMutex);
                 if (i < errorIndex) {
                     errorIndex = i;
                     error = std::current_exception();
@@ -131,7 +137,7 @@ struct LoopState
             }
             if (done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
                 total) {
-                MutexLock lock(mutex);
+                MutexLock lock(loopMutex);
                 cv.notify_all();
             }
         }
@@ -166,7 +172,7 @@ parallelFor(size_t n, ThreadPool *pool,
     // nested parallelFor calls deadlock-free.
     state->drain();
 
-    MutexLock lock(state->mutex);
+    MutexLock lock(state->loopMutex);
     while (state->done.load(std::memory_order_acquire) !=
            state->total)
         state->cv.wait(lock.native());

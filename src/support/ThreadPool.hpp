@@ -70,7 +70,8 @@ class ThreadPool
      * Enqueue one task. Must not be called on a zero-worker pool
      * (there is nobody to run it).
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task)
+        PICO_REQUIRES(!poolMutex_);
 
     /**
      * Worker count for a user-facing jobs knob: 0 = one per
@@ -79,13 +80,13 @@ class ThreadPool
     static unsigned resolveJobs(unsigned jobs);
 
   private:
-    void workerLoop();
+    void workerLoop() PICO_REQUIRES(!poolMutex_);
 
     std::vector<std::thread> threads_;
-    Mutex mutex_;
-    std::deque<std::function<void()>> queue_ PICO_GUARDED_BY(mutex_);
+    Mutex poolMutex_{"threadpool.queue", rank::kPoolQueue};
+    std::deque<std::function<void()>> queue_ PICO_GUARDED_BY(poolMutex_);
     std::condition_variable cv_;
-    bool stop_ PICO_GUARDED_BY(mutex_) = false;
+    bool stop_ PICO_GUARDED_BY(poolMutex_) = false;
 };
 
 /**

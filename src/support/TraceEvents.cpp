@@ -59,12 +59,12 @@ TraceRecorder::localBuf()
     if (tlsTraceBuf == nullptr) {
         auto buf = std::make_unique<ThreadBuf>();
         tlsTraceBuf = buf.get();
-        MutexLock lock(mutex_);
+        MutexLock lock(traceMutex_);
         buf->tid = static_cast<uint32_t>(bufs_.size());
         {
             // The buffer is not shared yet, but name is guarded by
             // buf->mutex; the nested acquisition is uncontended.
-            MutexLock nameLock(buf->mutex);
+            MutexLock nameLock(buf->bufMutex);
             buf->name = "thread-" + std::to_string(buf->tid);
         }
         bufs_.push_back(std::move(buf));
@@ -75,7 +75,7 @@ TraceRecorder::localBuf()
 void
 TraceRecorder::append(ThreadBuf &buf, Event event)
 {
-    MutexLock lock(buf.mutex);
+    MutexLock lock(buf.bufMutex);
     if (buf.events.size() >= maxEventsPerThread) {
         // Bounded buffers: a long-lived server must not grow without
         // limit. The drop is counted so dumps can say "incomplete".
@@ -89,7 +89,7 @@ void
 TraceRecorder::nameThisThread(const std::string &name)
 {
     auto &buf = localBuf();
-    MutexLock lock(buf.mutex);
+    MutexLock lock(buf.bufMutex);
     buf.name = name;
     buf.named = true;
 }
@@ -98,7 +98,7 @@ void
 TraceRecorder::nameThisThreadDefault(const std::string &name)
 {
     auto &buf = localBuf();
-    MutexLock lock(buf.mutex);
+    MutexLock lock(buf.bufMutex);
     if (!buf.named)
         buf.name = name;
 }
@@ -181,7 +181,7 @@ TraceRecorder::writeJson(const std::string &path) const
         return false;
     }
 
-    MutexLock lock(mutex_);
+    MutexLock lock(traceMutex_);
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
     auto sep = [&first, &out] {
@@ -191,7 +191,7 @@ TraceRecorder::writeJson(const std::string &path) const
         first = false;
     };
     for (const auto &buf : bufs_) {
-        MutexLock bufLock(buf->mutex);
+        MutexLock bufLock(buf->bufMutex);
         sep();
         out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << buf->tid
             << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
@@ -214,9 +214,9 @@ std::vector<TraceRecorder::RequestEvent>
 TraceRecorder::requestEvents(uint64_t request_id) const
 {
     std::vector<RequestEvent> out;
-    MutexLock lock(mutex_);
+    MutexLock lock(traceMutex_);
     for (const auto &buf : bufs_) {
-        MutexLock bufLock(buf->mutex);
+        MutexLock bufLock(buf->bufMutex);
         for (const auto &e : buf->events) {
             if (e.requestId != request_id)
                 continue;
@@ -244,9 +244,9 @@ TraceRecorder::requestJson(uint64_t request_id) const
     std::ostringstream out;
     out << "{\"request\":" << request_id << ",\"traceEvents\":[";
     bool first = true;
-    MutexLock lock(mutex_);
+    MutexLock lock(traceMutex_);
     for (const auto &buf : bufs_) {
-        MutexLock bufLock(buf->mutex);
+        MutexLock bufLock(buf->bufMutex);
         for (const auto &e : buf->events) {
             if (e.requestId != request_id)
                 continue;
@@ -263,9 +263,9 @@ TraceRecorder::requestJson(uint64_t request_id) const
 void
 TraceRecorder::clear()
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(traceMutex_);
     for (auto &buf : bufs_) {
-        MutexLock bufLock(buf->mutex);
+        MutexLock bufLock(buf->bufMutex);
         buf->events.clear();
     }
     dropped_.store(0, std::memory_order_relaxed);
@@ -274,10 +274,10 @@ TraceRecorder::clear()
 size_t
 TraceRecorder::eventCount() const
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(traceMutex_);
     size_t total = 0;
     for (const auto &buf : bufs_) {
-        MutexLock bufLock(buf->mutex);
+        MutexLock bufLock(buf->bufMutex);
         total += buf->events.size();
     }
     return total;

@@ -86,7 +86,8 @@ class TraceRecorder
      * "pool-worker-3"). Safe to call whether or not recording is
      * enabled; the last name set wins.
      */
-    void nameThisThread(const std::string &name);
+    void nameThisThread(const std::string &name)
+        PICO_REQUIRES(!traceMutex_);
 
     /**
      * Like nameThisThread(), but only if the thread has never been
@@ -94,7 +95,8 @@ class TraceRecorder
      * walk executing on a server worker must not rename the worker's
      * track out from under it.
      */
-    void nameThisThreadDefault(const std::string &name);
+    void nameThisThreadDefault(const std::string &name)
+        PICO_REQUIRES(!traceMutex_);
 
     /**
      * Record one complete span on the calling thread's track,
@@ -123,7 +125,8 @@ class TraceRecorder
      * Serialize every buffered event as Trace Event Format JSON.
      * @return false (after a warn()) when the file cannot be written
      */
-    bool writeJson(const std::string &path) const;
+    bool writeJson(const std::string &path) const
+        PICO_REQUIRES(!traceMutex_);
 
     /** One request's events across all threads (span-id decorated). */
     struct RequestEvent
@@ -138,19 +141,21 @@ class TraceRecorder
     };
 
     /** Every buffered event of one request, in timestamp order. */
-    std::vector<RequestEvent> requestEvents(uint64_t request_id) const;
+    std::vector<RequestEvent> requestEvents(uint64_t request_id)
+        const PICO_REQUIRES(!traceMutex_);
 
     /**
      * One request's events as a single-line Trace Event Format JSON
      * document (the payload of the server's dump-trace verb).
      */
-    std::string requestJson(uint64_t request_id) const;
+    std::string requestJson(uint64_t request_id) const
+        PICO_REQUIRES(!traceMutex_);
 
     /** Drop all buffered events (thread tracks are kept). */
-    void clear();
+    void clear() PICO_REQUIRES(!traceMutex_);
 
     /** Buffered events across all threads. */
-    size_t eventCount() const;
+    size_t eventCount() const PICO_REQUIRES(!traceMutex_);
 
     /** Events dropped because a thread's buffer was full. */
     uint64_t droppedCount() const
@@ -179,23 +184,26 @@ class TraceRecorder
     {
         uint32_t tid = 0;
         /** Guards events/name: appends come from the owning thread,
-         *  reads from writeJson()/clear() on any thread. */
-        mutable Mutex mutex;
-        std::string name PICO_GUARDED_BY(mutex);
+         *  reads from writeJson()/clear() on any thread. Ranked
+         *  below the registry mutex: serializers hold traceMutex_ while
+         *  visiting each buffer. */
+        mutable Mutex bufMutex{"traceevents.buf", rank::kTraceBuf};
+        std::string name PICO_GUARDED_BY(bufMutex);
         /** True once nameThisThread() set an explicit name. */
-        bool named PICO_GUARDED_BY(mutex) = false;
-        std::vector<Event> events PICO_GUARDED_BY(mutex);
+        bool named PICO_GUARDED_BY(bufMutex) = false;
+        std::vector<Event> events PICO_GUARDED_BY(bufMutex);
     };
 
-    ThreadBuf &localBuf();
+    ThreadBuf &localBuf() PICO_REQUIRES(!traceMutex_);
     void append(ThreadBuf &buf, Event event);
     static void writeEvent(std::ostream &out, const Event &e,
                            uint32_t tid);
 
     /** Guards bufs_ registration. */
-    mutable Mutex mutex_;
+    mutable Mutex traceMutex_{"traceevents.registry",
+                         rank::kTraceRegistry};
     mutable std::vector<std::unique_ptr<ThreadBuf>> bufs_
-        PICO_GUARDED_BY(mutex_);
+        PICO_GUARDED_BY(traceMutex_);
     std::atomic<uint64_t> dropped_{0};
 };
 

@@ -104,6 +104,69 @@ TEST(BoundedQueue, CloseWakesBlockedConsumer)
     EXPECT_TRUE(exited.load());
 }
 
+TEST(BoundedQueue, CloseWakesEveryBlockedWaiter)
+{
+    // Shutdown with a *crowd* of parked consumers: close() must wake
+    // them all (notify_all, not notify_one) and each must observe
+    // closed-and-empty, returning false exactly once.
+    BoundedQueue<int> q(4);
+    constexpr int kWaiters = 4;
+    std::atomic<int> falseReturns{0};
+    std::vector<std::thread> waiters;
+    for (int w = 0; w < kWaiters; ++w) {
+        waiters.emplace_back([&] {
+            int out = 0;
+            if (!q.pop(out))
+                falseReturns.fetch_add(1);
+        });
+    }
+    // Give the waiters time to park in pop()'s cv wait.
+    support::sleepForMs(20);
+    q.close();
+    for (auto &t : waiters)
+        t.join();
+    EXPECT_EQ(falseReturns.load(), kWaiters);
+}
+
+TEST(BoundedQueue, CloseAndDrainStarvesBlockedWaiters)
+{
+    // closeAndDrain() confiscates the backlog; consumers parked in
+    // pop() must all come back empty-handed — the items belong to
+    // the drainer now, not to whichever waiter wakes first.
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_EQ(q.tryPush(i), QueuePush::Ok);
+    // Drain the backlog first so the waiters actually block.
+    int out = 0;
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(q.pop(out));
+    constexpr int kWaiters = 3;
+    std::atomic<int> falseReturns{0};
+    std::vector<std::thread> waiters;
+    for (int w = 0; w < kWaiters; ++w) {
+        waiters.emplace_back([&] {
+            int v = 0;
+            if (!q.pop(v))
+                falseReturns.fetch_add(1);
+        });
+    }
+    support::sleepForMs(20);
+    // Race one late producer against the shutdown: whatever lands in
+    // the queue must end up with the drainer or one consumer, never
+    // both and never lost.
+    (void)q.tryPush(99);
+    auto leftover = q.closeAndDrain();
+    for (auto &t : waiters)
+        t.join();
+    EXPECT_TRUE(q.closed());
+    // Every parked waiter either got the late item or returned false,
+    // and the item went to exactly one place — drainer or consumer.
+    const int consumed = kWaiters - falseReturns.load();
+    EXPECT_GE(falseReturns.load(), kWaiters - 1);
+    EXPECT_LE(leftover.size(), 1u);
+    EXPECT_EQ(static_cast<int>(leftover.size()) + consumed, 1);
+}
+
 TEST(BoundedQueue, PeakDepthNeverExceedsWatermark)
 {
     BoundedQueue<int> q(64, 8);

@@ -309,6 +309,41 @@ TEST(EvalService, DeadlineExceededReturnsPartialTaggedResponse)
     EXPECT_DOUBLE_EQ(service.statsValues()["deadline"], 1.0);
 }
 
+TEST(EvalService, DeadlineFiredWhileQueuedNeverStartsTheWalk)
+{
+    // The admission/pickup window: a request whose token fires while
+    // it sits in the queue must be answered DeadlineExceeded at
+    // pickup *without* starting a walk. One worker, pinned down by a
+    // long chaos stall on another request, guarantees the victim
+    // outlives its deadline in the queue.
+    ServiceOptions opts = fastOptions();
+    opts.workers = 1;
+    opts.chaosSlowMs = 300;
+    EvalService service(opts);
+    support::ScopedFault slow("EvalService::execute:slow", 0, 0);
+
+    std::thread occupant([&] {
+        Request req = smallEval();
+        req.key = "occupant";
+        service.call(req); // pins the only worker for ~300 ms
+    });
+    support::sleepForMs(50); // let the occupant reach the worker
+
+    Request victim = smallEval();
+    victim.key = "queued-victim";
+    victim.deadlineMs = 30; // expires long before worker pickup
+    Response resp = service.call(victim);
+    occupant.join();
+
+    EXPECT_EQ(resp.status, Status::DeadlineExceeded);
+    EXPECT_FALSE(resp.error.empty());
+    // The walk never started: no evaluation results, only the
+    // request id the admitting side stamped.
+    EXPECT_EQ(resp.values.count("designs.evaluated"), 0u);
+    EXPECT_EQ(resp.values.count("request.id"), 1u);
+    EXPECT_GE(service.statsValues()["deadline"], 1.0);
+}
+
 TEST(EvalService, DeadlineWorkIsCachedForTheRetry)
 {
     std::string cache_path = tempPath("deadline_cache.db");

@@ -88,6 +88,13 @@ GATES = [
         "slack": 10.0,   # request-scoped tracing on the serving path
     },
     {
+        "bench": "observability_overhead",
+        "metric": "rankcheck.overhead.percent",
+        "kind": "max_slack",
+        "slack": 10.0,   # lock-rank checker A/B (0% in Release —
+                         # the checker is compiled out entirely)
+    },
+    {
         "bench": "verifier_overhead",
         "metric": "overhead.percent",
         "kind": "max_slack",

@@ -36,6 +36,18 @@ Checks C++ sources under src/ for constructions the project bans:
                  src/server. Fixed-delay retry loops synchronize into
                  retry storms; pacing goes through support::Backoff
                  (full-jitter, seeded) or support::sleepForMs via it.
+  nondet-iteration  iteration over a std::unordered_map/unordered_set
+                 inside a function that writes serialized output
+                 (reports, cache files, protocol frames). Hash order
+                 is libstdc++-version- and salt-dependent; serialized
+                 bytes must be a pure function of the *contents*, so
+                 the visit must feed a sort (audited sites carry an
+                 allow). Implemented as a cross-file two-pass check:
+                 unordered container identifiers are collected from
+                 every scanned file (members are declared in headers,
+                 iterated in .cpps), then any function body that both
+                 iterates one and touches a serialization sink is
+                 flagged.
 
 Rules with `only_dirs` apply only to files under those directories.
 
@@ -134,6 +146,99 @@ RULES = [
 
 ALLOW_RE = re.compile(r"picoeval-lint:\s*allow\(([a-z-]+)\)")
 
+# --- nondet-iteration (two-pass, cross-file) ---------------------------
+
+NONDET_RULE = {
+    "name": "nondet-iteration",
+    "message": "iteration over an unordered container in a "
+               "serializing function (hash order is not stable; "
+               "sort before writing — audited sites carry an allow)",
+}
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+
+# A function body "serializes" when it touches one of these sinks.
+SERIALIZE_SINK_RE = re.compile(
+    r"\bostream\b|\bofstream\b|\bostringstream\b|\bwriteJson\b"
+    r"|\btoJson\b|\bsnprintf\b|\bjsonEscape\b|\bout\s*<<"
+)
+
+
+def unordered_identifiers(stripped_text):
+    """Identifiers declared as std::unordered_map/set (angle brackets
+    matched manually — nested template args defeat a plain regex)."""
+    idents = set()
+    for m in UNORDERED_DECL_RE.finditer(stripped_text):
+        i = m.end()  # just past '<'
+        depth = 1
+        n = len(stripped_text)
+        while i < n and depth > 0:
+            if stripped_text[i] == "<":
+                depth += 1
+            elif stripped_text[i] == ">":
+                depth -= 1
+            i += 1
+        ident = re.match(r"\s*(\w+)", stripped_text[i:])
+        if ident:
+            idents.add(ident.group(1))
+    return idents
+
+
+def iteration_re(idents):
+    names = "|".join(sorted(re.escape(i) for i in idents))
+    return re.compile(
+        r"for\s*\([^;()]*:[^()]*\b(?:" + names + r")\s*\)"
+        r"|\b(?:" + names + r")\s*(?:\.|->)\s*begin\s*\(")
+
+
+def brace_blocks(stripped_text):
+    """All balanced-brace regions as (open_offset, close_offset)
+    pairs, from one stack pass over the stripped text."""
+    blocks = []
+    stack = []
+    for i, ch in enumerate(stripped_text):
+        if ch == "{":
+            stack.append(i)
+        elif ch == "}" and stack:
+            blocks.append((stack.pop(), i))
+    return blocks
+
+
+def nondet_findings(rel, raw_lines, stripped_text, idents):
+    """Flag iterations over an unordered container whose enclosing
+    function also serializes. The "function" is approximated as the
+    innermost enclosing brace blocks up to ~a function's size: a
+    namespace or class block spans the whole file and must not donate
+    its sinks to every loop inside it."""
+    if not idents:
+        return []
+    it_re = iteration_re(idents)
+    blocks = brace_blocks(stripped_text)
+    findings = []
+    for m in it_re.finditer(stripped_text):
+        pos = m.start()
+        enclosing = sorted((b for b in blocks if b[0] < pos < b[1]),
+                           key=lambda b: b[1] - b[0])
+        serializes = False
+        for open_off, close_off in enclosing:
+            block = stripped_text[open_off:close_off + 1]
+            if block.count("\n") > 120:
+                break  # namespace/class scale, not a function
+            if SERIALIZE_SINK_RE.search(block):
+                serializes = True
+                break
+        if not serializes:
+            continue
+        lineno = stripped_text.count("\n", 0, pos) + 1
+        src = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        above = raw_lines[lineno - 2] if lineno >= 2 else ""
+        allow = ALLOW_RE.search(src) or ALLOW_RE.search(above)
+        if allow and allow.group(1) == NONDET_RULE["name"]:
+            continue
+        findings.append((rel, lineno, NONDET_RULE["name"],
+                         NONDET_RULE["message"]))
+    return findings
+
 
 def strip_comments_and_strings(text):
     """Blank out comments and string/char literals, keeping the line
@@ -230,7 +335,7 @@ def main():
     args = parser.parse_args()
 
     if args.list_rules:
-        for rule in RULES:
+        for rule in RULES + [NONDET_RULE]:
             print(f"{rule['name']}: {rule['message']}")
         return 0
 
@@ -250,8 +355,23 @@ def main():
             return 2
 
     findings = []
-    for path in sorted(set(f.resolve() for f in files)):
+    # Two passes for nondet-iteration: container members are declared
+    # in headers but iterated in .cpps, so the identifier set must be
+    # collected across every scanned file first.
+    stripped_cache = {}
+    idents = set()
+    ordered = sorted(set(f.resolve() for f in files))
+    for path in ordered:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        stripped = strip_comments_and_strings(raw)
+        stripped_cache[path] = (raw.splitlines(), stripped)
+        idents.update(unordered_identifiers(stripped))
+    for path in ordered:
         findings.extend(lint_file(path, repo_root))
+        rel = path.relative_to(repo_root).as_posix()
+        raw_lines, stripped = stripped_cache[path]
+        findings.extend(
+            nondet_findings(rel, raw_lines, stripped, idents))
 
     findings.sort()
     for rel, lineno, rule, message in findings:
